@@ -1,0 +1,313 @@
+package repro_test
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation section, plus the ablations DESIGN.md calls for
+// and throughput benchmarks of the pass itself. Metrics are emitted
+// with b.ReportMetric so `go test -bench . -benchmem` prints the
+// paper-shaped numbers (improvement percentages, color deltas) next to
+// the usual ns/op.
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/regalloc"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// BenchmarkTable1Static regenerates Table 1: static counts of singleton
+// loads and stores before and after promotion, per benchmark.
+func BenchmarkTable1Static(b *testing.B) {
+	var rows []report.Row1
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = report.Table1(report.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var imp float64
+	for _, r := range rows {
+		imp += r.TotalImprovement()
+	}
+	b.ReportMetric(imp/float64(len(rows)), "mean_static_impro_%")
+}
+
+// BenchmarkTable2Dynamic regenerates Table 2: dynamic counts of memory
+// operations before and after promotion — the paper's headline metric.
+func BenchmarkTable2Dynamic(b *testing.B) {
+	var rows []report.Row2
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = report.Table2(report.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(report.MeanTotalImprovement(rows), "mean_dyn_impro_%")
+	for _, r := range rows {
+		if r.Name == "go" {
+			b.ReportMetric(r.LoadImprovement(), "go_load_impro_%")
+		}
+		if r.Name == "vortex" {
+			b.ReportMetric(r.TotalImprovement(), "vortex_impro_%")
+		}
+	}
+}
+
+// BenchmarkTable3RegPressure regenerates Table 3: interference graph
+// colors before and after promotion on routines with promotion
+// opportunities.
+func BenchmarkTable3RegPressure(b *testing.B) {
+	var rows []report.Row3
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = report.Table3(report.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	delta := 0
+	for _, r := range rows {
+		delta += r.ColorsAfter - r.ColorsBefore
+	}
+	b.ReportMetric(float64(delta)/float64(len(rows)), "mean_color_delta")
+	b.ReportMetric(float64(len(rows)), "routines")
+}
+
+// BenchmarkFigure1 runs the paper's running example end to end and
+// reports the dynamic memory operations removed (200 -> ~2 in the first
+// loop).
+func BenchmarkFigure1(b *testing.B) {
+	src := `
+int x;
+void foo() { x = x + 1; }
+void main() {
+	int i;
+	for (i = 0; i < 100; i++) x++;
+	for (i = 0; i < 10; i++) foo();
+	print(x);
+}
+`
+	var out *pipeline.Outcome
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = pipeline.Run(src, pipeline.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(out.Before.DynMemOps()), "memops_before")
+	b.ReportMetric(float64(out.After.DynMemOps()), "memops_after")
+}
+
+// BenchmarkFigure7ColdCall runs the Figures 7/8 scenario and reports
+// how the SSA algorithm and the loop baseline compare on a loop whose
+// only aliased reference is cold.
+func BenchmarkFigure7ColdCall(b *testing.B) {
+	src := `
+int x;
+int log;
+void foo() { log = log + x; }
+void main() {
+	int i;
+	for (i = 0; i < 1000; i++) {
+		x++;
+		if (x < 30) foo();
+	}
+	print(x);
+	print(log);
+}
+`
+	var ssaOps, baseOps int64
+	for i := 0; i < b.N; i++ {
+		ssaOut, err := pipeline.Run(src, pipeline.Options{Algorithm: pipeline.AlgSSA})
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseOut, err := pipeline.Run(src, pipeline.Options{Algorithm: pipeline.AlgBaseline})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ssaOps, baseOps = ssaOut.After.DynMemOps(), baseOut.After.DynMemOps()
+	}
+	b.ReportMetric(float64(ssaOps), "ssa_memops")
+	b.ReportMetric(float64(baseOps), "baseline_memops")
+}
+
+// BenchmarkAblationSSAvsBaseline sweeps the whole suite under both
+// algorithms and reports total dynamic memory operations.
+func BenchmarkAblationSSAvsBaseline(b *testing.B) {
+	var rows []report.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = report.Ablation(
+			report.Options{Algorithm: pipeline.AlgSSA},
+			report.Options{Algorithm: pipeline.AlgBaseline},
+			"ssa", "baseline")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ssaTotal, baseTotal float64
+	for _, r := range rows {
+		ssaTotal += float64(r.BaseA)
+		baseTotal += float64(r.BaseB)
+	}
+	b.ReportMetric(ssaTotal, "ssa_total_memops")
+	b.ReportMetric(baseTotal, "baseline_total_memops")
+}
+
+// BenchmarkAblationProfile compares measured-profile promotion against
+// the static loop-depth estimator.
+func BenchmarkAblationProfile(b *testing.B) {
+	var rows []report.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = report.Ablation(
+			report.Options{},
+			report.Options{StaticProfile: true},
+			"measured", "static")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var measured, static float64
+	for _, r := range rows {
+		measured += float64(r.BaseA)
+		static += float64(r.BaseB)
+	}
+	b.ReportMetric(measured, "measured_total_memops")
+	b.ReportMetric(static, "static_total_memops")
+}
+
+// BenchmarkAblationProfitFormula compares the repository's safe profit
+// formula (tail stores counted) against the paper's printed formula.
+func BenchmarkAblationProfitFormula(b *testing.B) {
+	var rows []report.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = report.Ablation(
+			report.Options{},
+			report.Options{PaperProfitFormula: true},
+			"safe", "paper")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var safe, paper float64
+	for _, r := range rows {
+		safe += float64(r.BaseA)
+		paper += float64(r.BaseB)
+	}
+	b.ReportMetric(safe, "safe_total_memops")
+	b.ReportMetric(paper, "paper_total_memops")
+}
+
+// BenchmarkAblationScope compares interval-scoped promotion (the
+// paper's algorithm) against whole-function-scope promotion (its
+// rejected first approach, section 4.1).
+func BenchmarkAblationScope(b *testing.B) {
+	var rows []report.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = report.Ablation(
+			report.Options{},
+			report.Options{WholeFunctionScope: true},
+			"intervals", "whole-function")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var intervals, whole float64
+	for _, r := range rows {
+		intervals += float64(r.BaseA)
+		whole += float64(r.BaseB)
+	}
+	b.ReportMetric(intervals, "interval_total_memops")
+	b.ReportMetric(whole, "wholefunc_total_memops")
+}
+
+// BenchmarkAblationMemOpt compares full promotion against the
+// memory-SSA scalar optimizations alone (store forwarding, redundant
+// load elimination, dead store elimination) — how much of the win is
+// plain redundancy removal.
+func BenchmarkAblationMemOpt(b *testing.B) {
+	var rows []report.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = report.Ablation(
+			report.Options{},
+			report.Options{Algorithm: pipeline.AlgMemOpt},
+			"promotion", "memopt")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var promo, memopt float64
+	for _, r := range rows {
+		promo += float64(r.BaseA)
+		memopt += float64(r.BaseB)
+	}
+	b.ReportMetric(promo, "promotion_total_memops")
+	b.ReportMetric(memopt, "memopt_total_memops")
+}
+
+// BenchmarkPromotionThroughput measures compile+promote time per
+// workload — the cost of the pass itself, without measurement runs.
+func BenchmarkPromotionThroughput(b *testing.B) {
+	for _, w := range workload.Suite() {
+		b.Run(w.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pipeline.Run(w.Src, pipeline.Options{
+					StaticProfile:   true,
+					SkipMeasurement: true,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRegallocThroughput measures interference graph construction
+// and coloring on promoted programs.
+func BenchmarkRegallocThroughput(b *testing.B) {
+	var progs []*pipeline.Outcome
+	for _, w := range workload.Suite() {
+		out, err := pipeline.Run(w.Src, pipeline.Options{
+			StaticProfile:   true,
+			SkipMeasurement: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		progs = append(progs, out)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, out := range progs {
+			regalloc.AllocateProgram(out.Prog)
+		}
+	}
+}
+
+// BenchmarkGeneratedPrograms exercises the whole pipeline on random
+// programs, a stress benchmark for compile-time robustness.
+func BenchmarkGeneratedPrograms(b *testing.B) {
+	srcs := make([]string, 10)
+	for i := range srcs {
+		srcs[i] = workload.Generate(workload.DefaultGenConfig(int64(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := srcs[i%len(srcs)]
+		if _, err := pipeline.Run(src, pipeline.Options{
+			StaticProfile:   true,
+			SkipMeasurement: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command rpbench regenerates the paper's evaluation tables over the
+// SPECInt95-analogue workload suite, plus the ablation comparisons.
+//
+// Usage:
+//
+//	rpbench                 # all tables and ablations
+//	rpbench -table 2        # just the dynamic counts table
+//	rpbench -ablations      # just the ablations
+//	rpbench -static-profile # promote with the static estimator instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pipeline"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "table to regenerate: 1, 2, or 3 (0 = all)")
+		ablations = flag.Bool("ablations", false, "run only the ablation comparisons")
+		static    = flag.Bool("static-profile", false, "use the static loop-depth profile estimator")
+		paper     = flag.Bool("paper-formula", false, "use the paper's exact profit formula")
+	)
+	flag.Parse()
+
+	opts := report.Options{
+		StaticProfile:      *static,
+		PaperProfitFormula: *paper,
+	}
+
+	if *ablations {
+		runAblations()
+		return
+	}
+
+	if *table == 0 || *table == 1 {
+		rows, err := report.Table1(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report.FormatTable1(rows))
+		fmt.Println()
+	}
+	if *table == 0 || *table == 2 {
+		rows, err := report.Table2(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report.FormatTable2(rows))
+		fmt.Println()
+	}
+	if *table == 0 || *table == 3 {
+		rows, err := report.Table3(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report.FormatTable3(rows))
+		fmt.Println()
+	}
+	if *table == 0 {
+		runAblations()
+	}
+}
+
+func runAblations() {
+	comparisons := []struct {
+		a, b           report.Options
+		labelA, labelB string
+	}{
+		{
+			report.Options{Algorithm: pipeline.AlgSSA},
+			report.Options{Algorithm: pipeline.AlgBaseline},
+			"ssa", "loop-baseline",
+		},
+		{
+			report.Options{},
+			report.Options{StaticProfile: true},
+			"measured-profile", "static-profile",
+		},
+		{
+			report.Options{},
+			report.Options{PaperProfitFormula: true},
+			"safe-formula", "paper-formula",
+		},
+		{
+			report.Options{},
+			report.Options{WholeFunctionScope: true},
+			"interval-scope", "whole-func-scope",
+		},
+		{
+			report.Options{},
+			report.Options{Algorithm: pipeline.AlgMemOpt},
+			"promotion", "memopt-only",
+		},
+	}
+	for _, c := range comparisons {
+		rows, err := report.Ablation(c.a, c.b, c.labelA, c.labelB)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report.FormatAblation(rows))
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rpbench:", err)
+	os.Exit(1)
+}

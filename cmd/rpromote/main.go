@@ -1,0 +1,168 @@
+// Command rpromote runs the register promotion pipeline on one mini-C
+// program and reports what happened: promotion statistics, static and
+// dynamic memory-operation counts before and after, and optionally the
+// transformed IR.
+//
+// Usage:
+//
+//	rpromote -workload go            # run a built-in benchmark
+//	rpromote -file prog.c            # run a mini-C source file
+//	rpromote -file prog.c -dump      # also print the final IR
+//	rpromote -workload go -alg baseline
+//	rpromote -list                   # list built-in workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pipeline"
+	"repro/internal/regalloc"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		file        = flag.String("file", "", "mini-C source file to compile")
+		wl          = flag.String("workload", "", "built-in workload name (see -list)")
+		list        = flag.Bool("list", false, "list built-in workloads and exit")
+		alg         = flag.String("alg", "ssa", "promotion algorithm: ssa, baseline, memopt, none")
+		dump        = flag.Bool("dump", false, "print the transformed IR")
+		static      = flag.Bool("static-profile", false, "use the static loop-depth profile estimator")
+		paper       = flag.Bool("paper-formula", false, "use the paper's exact profit formula (tail stores uncounted)")
+		wholeFunc   = flag.Bool("whole-function", false, "promote at whole-function scope (the paper's rejected first approach)")
+		preMemOpts  = flag.Bool("memopts", false, "run memory-SSA scalar optimizations before promotion")
+		regPressure = flag.Bool("pressure", false, "report register pressure per function")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workload.Suite() {
+			fmt.Printf("%-10s %s\n", w.Name, w.Description)
+		}
+		return
+	}
+
+	src, name, err := loadSource(*file, *wl)
+	if err != nil {
+		fatal(err)
+	}
+
+	var algorithm pipeline.Algorithm
+	switch *alg {
+	case "ssa":
+		algorithm = pipeline.AlgSSA
+	case "baseline":
+		algorithm = pipeline.AlgBaseline
+	case "memopt":
+		algorithm = pipeline.AlgMemOpt
+	case "none":
+		algorithm = pipeline.AlgNone
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+
+	out, err := pipeline.Run(src, pipeline.Options{
+		Algorithm:          algorithm,
+		StaticProfile:      *static,
+		PaperProfitFormula: *paper,
+		WholeFunctionScope: *wholeFunc,
+		PreMemOpts:         *preMemOpts,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("program: %s (algorithm: %s)\n\n", name, algorithm)
+	fmt.Printf("static  loads: %6d -> %6d    stores: %6d -> %6d\n",
+		out.StaticBefore.Loads, out.StaticAfter.Loads,
+		out.StaticBefore.Stores, out.StaticAfter.Stores)
+	fmt.Printf("dynamic loads: %6d -> %6d    stores: %6d -> %6d\n",
+		out.Before.DynLoads(), out.After.DynLoads(),
+		out.Before.DynStores(), out.After.DynStores())
+	total := out.Before.DynMemOps()
+	if total > 0 {
+		saved := total - out.After.DynMemOps()
+		fmt.Printf("dynamic memory operations removed: %d of %d (%.1f%%)\n",
+			saved, total, float64(saved)/float64(total)*100)
+	}
+	s := out.TotalStats
+	fmt.Printf("\nwebs: %d considered, %d promoted, %d load-only, %d rejected\n",
+		s.WebsConsidered, s.WebsPromoted, s.WebsLoadOnly, s.WebsRejected)
+	fmt.Printf("loads: %d replaced, %d inserted; stores: %d deleted, %d inserted\n",
+		s.LoadsReplaced, s.LoadsInserted, s.StoresDeleted, s.StoresInserted)
+
+	if equalOutputs(out) {
+		fmt.Println("\nsemantics check: outputs and final memory identical ✓")
+	} else {
+		fmt.Println("\nsemantics check: MISMATCH — this is a bug")
+		os.Exit(1)
+	}
+
+	if *regPressure {
+		fmt.Println()
+		results, names := regalloc.AllocateProgram(out.Prog)
+		for _, fn := range names {
+			r := results[fn]
+			fmt.Printf("pressure %-16s colors=%d maxlive=%d nodes=%d edges=%d\n",
+				fn, r.Colors, r.MaxLive, r.Nodes, r.Edges)
+		}
+	}
+
+	if *dump {
+		fmt.Println()
+		fmt.Print(out.Prog)
+	}
+}
+
+func loadSource(file, wl string) (src, name string, err error) {
+	switch {
+	case file != "" && wl != "":
+		return "", "", fmt.Errorf("use either -file or -workload, not both")
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return "", "", err
+		}
+		return string(data), file, nil
+	case wl != "":
+		w, ok := workload.ByName(wl)
+		if !ok {
+			return "", "", fmt.Errorf("unknown workload %q (try -list)", wl)
+		}
+		return w.Src, "workload:" + w.Name, nil
+	}
+	return "", "", fmt.Errorf("one of -file or -workload is required")
+}
+
+func equalOutputs(out *pipeline.Outcome) bool {
+	if out.Before == nil || out.After == nil {
+		return true
+	}
+	if len(out.Before.Output) != len(out.After.Output) {
+		return false
+	}
+	for i := range out.Before.Output {
+		if out.Before.Output[i] != out.After.Output[i] {
+			return false
+		}
+	}
+	for name, img := range out.Before.Globals {
+		other := out.After.Globals[name]
+		if len(img) != len(other) {
+			return false
+		}
+		for i := range img {
+			if img[i] != other[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rpromote:", err)
+	os.Exit(1)
+}

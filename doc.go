@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "A New Algorithm
+// for Scalar Register Promotion Based on SSA Form" (A.V.S. Sastry and
+// Roy D.C. Ju, PLDI 1998): a profile-driven, interval-scoped register
+// promotion pass over an SSA intermediate representation with explicit
+// memory resources, together with every substrate the paper depends on
+// — a mini-C frontend, CFG and dominance analyses, SSA construction and
+// incremental update, an interpreter that measures the paper's dynamic
+// cost metric, a coloring register allocator for the register pressure
+// study, the loop-based baseline it improves on, and a benchmark suite
+// standing in for SPECInt95.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the table-by-table reproduction record. The
+// benchmarks in bench_test.go regenerate each table of the paper's
+// evaluation section.
+package repro

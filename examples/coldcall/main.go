@@ -1,0 +1,60 @@
+// Coldcall reproduces the scenario of the paper's Figures 7 and 8: a
+// hot loop whose only aliased reference — a function call — sits on a
+// rarely executed path. A loop-based promoter gives up on the whole
+// loop; the profile-driven SSA algorithm promotes x and pays for it
+// with a compensation store before the call and a reload after it, on
+// the cold path only. This example runs both algorithms side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/pipeline"
+)
+
+const coldCall = `
+int x;
+int log;
+
+void foo() { log = log + x; }
+
+void main() {
+	int i;
+	for (i = 0; i < 1000; i++) {
+		x++;
+		if (x < 30) foo();
+	}
+	print(x);
+	print(log);
+}
+`
+
+func main() {
+	ssaOut, err := pipeline.Run(coldCall, pipeline.Options{Algorithm: pipeline.AlgSSA})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseOut, err := pipeline.Run(coldCall, pipeline.Options{Algorithm: pipeline.AlgBaseline})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Cold call path: for(i<1000){ x++; if (x<30) foo(); }")
+	fmt.Println("foo() executes only while x < 30 — about 29 of 1000 iterations.")
+	fmt.Println()
+	fmt.Printf("%-22s %10s %10s\n", "", "loads", "stores")
+	fmt.Printf("%-22s %10d %10d\n", "unpromoted",
+		ssaOut.Before.DynLoads(), ssaOut.Before.DynStores())
+	fmt.Printf("%-22s %10d %10d\n", "loop-based baseline",
+		baseOut.After.DynLoads(), baseOut.After.DynStores())
+	fmt.Printf("%-22s %10d %10d\n", "SSA promotion (paper)",
+		ssaOut.After.DynLoads(), ssaOut.After.DynStores())
+	fmt.Println()
+	fmt.Println("The baseline sees a call in the loop and refuses to promote;")
+	fmt.Println("the paper's algorithm sinks the load/store pair into the cold")
+	fmt.Println("arm, keeping the hot path free of memory traffic.")
+	fmt.Println()
+	fmt.Println("== promoted main (SSA algorithm) ==")
+	fmt.Print(ssaOut.Prog.Func("main"))
+}

@@ -1,0 +1,51 @@
+// Loopglobals reproduces the paper's Figure 1, its running example: a
+// global x incremented 100 times in one loop, then a function called 10
+// times in a second loop. Interval-scoped promotion turns the first
+// loop's 200 memory operations into one load before the loop and one
+// store after it, while the call-bearing second loop is left for the
+// calls to handle — the whole point of using intervals rather than the
+// entire program as the promotion scope.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/pipeline"
+)
+
+const figure1 = `
+int x;
+
+void foo() { x = x + 1; }
+
+void main() {
+	int i;
+	for (i = 0; i < 100; i++) x++;
+	for (i = 0; i < 10; i++) foo();
+	print(x);
+}
+`
+
+func main() {
+	out, err := pipeline.Run(figure1, pipeline.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Figure 1: two loops over global x")
+	fmt.Printf("final x (must be 110): before=%v after=%v\n\n",
+		out.Before.Output, out.After.Output)
+
+	fmt.Printf("dynamic loads:  %4d -> %4d\n", out.Before.DynLoads(), out.After.DynLoads())
+	fmt.Printf("dynamic stores: %4d -> %4d\n", out.Before.DynStores(), out.After.DynStores())
+	fmt.Println()
+	fmt.Println("The first loop originally loads and stores x every iteration")
+	fmt.Println("(200 operations). After promotion, main performs one load in")
+	fmt.Println("the first loop's preheader and one store at its exit; the ten")
+	fmt.Println("foo() calls account for the rest of the remaining traffic.")
+	fmt.Println()
+
+	fmt.Println("== promoted main ==")
+	fmt.Print(out.Prog.Func("main"))
+}

@@ -1,0 +1,99 @@
+// Pointerlab demonstrates how the alias model shapes promotion:
+// address-taken locals, pointers that escape into callees, and pointer
+// stores inside loops. Each scenario prints whether promotion was able
+// to act and what it cost — and verifies the transformed program still
+// computes the same answers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"reflect"
+
+	"repro/internal/pipeline"
+)
+
+type scenario struct {
+	name string
+	note string
+	src  string
+}
+
+var scenarios = []scenario{
+	{
+		name: "address-taken local, no aliased refs in loop",
+		note: "the slot promotes: &a exists, but the loop itself is clean",
+		src: `
+void main() {
+	int a = 0;
+	int* p = &a;
+	*p = 5;
+	int i;
+	for (i = 0; i < 500; i++) a += i;
+	print(a);
+}`,
+	},
+	{
+		name: "pointer store on a cold path inside the loop",
+		note: "promotion compensates: a store lands just before the *p write",
+		src: `
+int x;
+void main() {
+	int* p = &x;
+	int i;
+	for (i = 0; i < 500; i++) {
+		x++;
+		if (i % 125 == 124) { *p = x * 2; }
+	}
+	print(x);
+}`,
+	},
+	{
+		name: "escaped pointer: callee writes through it every iteration",
+		note: "aliased on the hot path: the web is rejected, program unharmed",
+		src: `
+void bump(int* q) { *q = *q + 1; }
+void main() {
+	int a = 0;
+	int i;
+	for (i = 0; i < 500; i++) bump(&a);
+	print(a);
+}`,
+	},
+	{
+		name: "two globals, only one aliased by the pointer",
+		note: "y's web promotes even though x's is pinned by *p",
+		src: `
+int x;
+int y;
+void main() {
+	int* p = &x;
+	int i;
+	for (i = 0; i < 500; i++) {
+		y += i;
+		*p = y;
+	}
+	print(x);
+	print(y);
+}`,
+	},
+}
+
+func main() {
+	for _, sc := range scenarios {
+		out, err := pipeline.Run(sc.src, pipeline.Options{})
+		if err != nil {
+			log.Fatalf("%s: %v", sc.name, err)
+		}
+		if !reflect.DeepEqual(out.Before.Output, out.After.Output) {
+			log.Fatalf("%s: promotion changed behaviour!", sc.name)
+		}
+		s := out.TotalStats
+		fmt.Printf("── %s\n", sc.name)
+		fmt.Printf("   %s\n", sc.note)
+		fmt.Printf("   dynamic mem ops %d -> %d; webs promoted %d, load-only %d, rejected %d\n",
+			out.Before.DynMemOps(), out.After.DynMemOps(),
+			s.WebsPromoted, s.WebsLoadOnly, s.WebsRejected)
+		fmt.Printf("   output %v unchanged ✓\n\n", out.After.Output)
+	}
+}

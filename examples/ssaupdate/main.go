@@ -1,0 +1,119 @@
+// Ssaupdate demonstrates the paper's second contribution in isolation:
+// the batch incremental SSA update for cloned definitions (its Figures
+// 9–11). The program builds the paper's Example 2 CFG with the IR API,
+// clones two store definitions of x exactly as register promotion
+// would, runs ssa.UpdateForClonedResources, and prints the function
+// before and after — showing the phi placed at the join, the renamed
+// uses, and the dead-code cascade that removes the original store and
+// the redundant phis.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/ssa"
+)
+
+func main() {
+	p := ir.NewProgram()
+	g := p.AddGlobal("x", 1, false, nil)
+	f := ir.NewFunction(p, "example2")
+	base := f.AddResource("x", ir.ResScalar, ir.GlobalLoc(g, 0))
+
+	cond := f.NewReg("c")
+	f.Params = []ir.RegID{cond}
+
+	// The paper's six-block interval plus entry and exit:
+	// b0 -> b1; b1 -> {b2, b3}; b2 -> {b4, b5}; b3 -> b5;
+	// b4 -> b6; b5 -> b6; b6 -> {b1, b7}.
+	var b [8]*ir.Block
+	for i := range b {
+		b[i] = f.NewBlock()
+	}
+	edge := ir.AddEdge
+	edge(b[0], b[1])
+	edge(b[1], b[2])
+	edge(b[1], b[3])
+	edge(b[2], b[4])
+	edge(b[2], b[5])
+	edge(b[3], b[5])
+	edge(b[4], b[6])
+	edge(b[5], b[6])
+	edge(b[6], b[1])
+	edge(b[6], b[7])
+
+	b[0].Append(ir.NewInstr(ir.OpJmp, ir.NoReg))
+
+	// x0 (version 1 here): the existing definition in b1.
+	v1 := f.NewVersion(base.ID)
+	def := ir.NewInstr(ir.OpStore, ir.NoReg, ir.ConstVal(10))
+	def.Loc = ir.GlobalLoc(g, 0)
+	def.MemDefs = []ir.MemRef{{Res: v1.ID}}
+	b[1].Append(def)
+	b[1].Append(ir.NewInstr(ir.OpBr, ir.NoReg, ir.RegVal(cond)))
+
+	b[2].Append(ir.NewInstr(ir.OpBr, ir.NoReg, ir.RegVal(cond)))
+
+	load := func(blk *ir.Block) *ir.Instr {
+		r := f.NewReg("")
+		ld := ir.NewInstr(ir.OpLoad, r)
+		ld.Loc = ir.GlobalLoc(g, 0)
+		ld.MemUses = []ir.MemRef{{Res: v1.ID}}
+		blk.Append(ld)
+		return ld
+	}
+	load(b[3])
+	b[3].Append(ir.NewInstr(ir.OpJmp, ir.NoReg))
+	load(b[4])
+	b[4].Append(ir.NewInstr(ir.OpJmp, ir.NoReg))
+	load(b[5])
+	b[5].Append(ir.NewInstr(ir.OpJmp, ir.NoReg))
+	b[6].Append(ir.NewInstr(ir.OpBr, ir.NoReg, ir.RegVal(cond)))
+	b[7].Append(ir.NewInstr(ir.OpRet, ir.NoReg))
+
+	// Clone two definitions, as register promotion does when it sinks
+	// stores: one at the end of b2, one in b3 ahead of its use.
+	v2 := f.NewVersion(base.ID)
+	clone1 := ir.NewInstr(ir.OpStore, ir.NoReg, ir.ConstVal(20))
+	clone1.Loc = ir.GlobalLoc(g, 0)
+	clone1.MemDefs = []ir.MemRef{{Res: v2.ID}}
+	b[2].InsertBeforeTerm(clone1)
+
+	v3 := f.NewVersion(base.ID)
+	clone2 := ir.NewInstr(ir.OpStore, ir.NoReg, ir.ConstVal(30))
+	clone2.Loc = ir.GlobalLoc(g, 0)
+	clone2.MemDefs = []ir.MemRef{{Res: v3.ID}}
+	b[3].InsertBefore(clone2, b[3].Instrs[0])
+
+	fmt.Println("== before the incremental update (SSA broken: uses still name x.1) ==")
+	fmt.Print(f)
+
+	dom := cfg.BuildDomTree(f)
+	df := cfg.BuildDomFrontiers(dom)
+	livePhis, err := ssa.UpdateForClonedResources(f, dom, df,
+		[]ir.ResourceID{v1.ID}, []ir.ResourceID{v2.ID, v3.ID})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== after ==")
+	fmt.Print(f)
+	fmt.Printf("\nlive phis inserted: %d (at ", len(livePhis))
+	for i, phi := range livePhis {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(phi.Parent)
+	}
+	fmt.Println(")")
+	fmt.Println("note: the original store in b1 and the frontier phis at b1/b6")
+	fmt.Println("died during the update's sweep — cloning introduced no dead code.")
+
+	if err := ssa.VerifyDominance(f); err != nil {
+		log.Fatalf("SSA invariant violated: %v", err)
+	}
+	fmt.Println("SSA dominance verified ✓")
+}

@@ -1,0 +1,302 @@
+// Package alias implements the memory resource model of the register
+// promotion paper. It tags every memory location with a resource
+// identifier — singleton resources for scalar cells, array resources for
+// aggregates — and annotates each instruction with the set of resource
+// references it defines and uses. Aggregate effects are expanded on the
+// spot:
+//
+//   - a direct scalar load or store references exactly one singleton,
+//     non-aliased;
+//   - a pointer load or store references every address-taken scalar
+//     (globals program-wide, plus the function's own address-taken
+//     slots), aliased — the paper's aliased loads and stores;
+//   - a function call references every global resource plus the
+//     function's own escaped slots, aliased, matching the paper's
+//     assumption that "a function call may modify and use all memory
+//     singleton resources from global variables";
+//   - an array access references its array's resource, aliased (arrays
+//     are never promoted).
+//
+// Aliased defs are weak updates, so every aliased def is paired with a
+// use of the same resource (the chi convention): the new version may
+// retain the old value.
+package alias
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Analyze computes escape information and fills the resource tables and
+// per-instruction MemDefs/MemUses of every function in prog. It must run
+// after lowering and before SSA construction; all references carry base
+// (version 0) resources.
+func Analyze(prog *ir.Program) error {
+	for _, f := range prog.Funcs {
+		if err := analyzeFunc(prog, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// funcInfo carries the per-function resource layout.
+type funcInfo struct {
+	f *ir.Function
+
+	// cellRes maps (object, offset) to the base singleton resource, and
+	// arrRes maps array objects to their array resource.
+	globalCell map[*ir.Global][]ir.ResourceID
+	slotCell   map[*ir.Slot][]ir.ResourceID
+	globalArr  map[*ir.Global]ir.ResourceID
+	slotArr    map[*ir.Slot]ir.ResourceID
+
+	// derefSet lists resources a pointer dereference may touch, callSet
+	// the resources a call may touch, and retSet the resources still
+	// observable after the function returns (all globals), each in
+	// table order.
+	derefSet []ir.ResourceID
+	callSet  []ir.ResourceID
+	retSet   []ir.ResourceID
+}
+
+func analyzeFunc(prog *ir.Program, f *ir.Function) error {
+	computeSlotEscapes(f)
+
+	info := &funcInfo{
+		f:          f,
+		globalCell: make(map[*ir.Global][]ir.ResourceID),
+		slotCell:   make(map[*ir.Slot][]ir.ResourceID),
+		globalArr:  make(map[*ir.Global]ir.ResourceID),
+		slotArr:    make(map[*ir.Slot]ir.ResourceID),
+	}
+
+	// Seed the resource table deterministically: globals in program
+	// order, then slots in declaration order.
+	for _, g := range prog.Globals {
+		if g.IsArray {
+			r := f.AddResource(g.Name, ir.ResArray, ir.GlobalLoc(g, 0))
+			info.globalArr[g] = r.ID
+			info.callSet = append(info.callSet, r.ID)
+			info.retSet = append(info.retSet, r.ID)
+			continue
+		}
+		cells := make([]ir.ResourceID, g.Size)
+		for off := 0; off < g.Size; off++ {
+			r := f.AddResource(g.CellName(off), ir.ResScalar, ir.GlobalLoc(g, off))
+			cells[off] = r.ID
+			info.callSet = append(info.callSet, r.ID)
+			info.retSet = append(info.retSet, r.ID)
+			if g.AddrTaken {
+				info.derefSet = append(info.derefSet, r.ID)
+			}
+		}
+		info.globalCell[g] = cells
+	}
+	for _, s := range f.Slots {
+		if s.IsArray {
+			r := f.AddResource(s.Name, ir.ResArray, ir.SlotLoc(s, 0))
+			info.slotArr[s] = r.ID
+			if s.Escapes {
+				info.callSet = append(info.callSet, r.ID)
+			}
+			continue
+		}
+		cells := make([]ir.ResourceID, s.Size)
+		for off := 0; off < s.Size; off++ {
+			r := f.AddResource(s.CellName(off), ir.ResScalar, ir.SlotLoc(s, off))
+			cells[off] = r.ID
+			if s.AddrTaken {
+				info.derefSet = append(info.derefSet, r.ID)
+			}
+			if s.Escapes {
+				info.callSet = append(info.callSet, r.ID)
+			}
+		}
+		info.slotCell[s] = cells
+	}
+
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if err := info.annotate(in); err != nil {
+				return fmt.Errorf("%s: %w", f.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (info *funcInfo) cellResource(loc ir.MemLoc) (ir.ResourceID, error) {
+	switch loc.Kind {
+	case ir.LocGlobal:
+		cells, ok := info.globalCell[loc.Global]
+		if !ok || loc.Offset >= len(cells) {
+			return ir.NoResource, fmt.Errorf("no resource for global cell %v", loc)
+		}
+		return cells[loc.Offset], nil
+	case ir.LocSlot:
+		cells, ok := info.slotCell[loc.Slot]
+		if !ok || loc.Offset >= len(cells) {
+			return ir.NoResource, fmt.Errorf("no resource for slot cell %v", loc)
+		}
+		return cells[loc.Offset], nil
+	}
+	return ir.NoResource, fmt.Errorf("location %v has no resource", loc)
+}
+
+func (info *funcInfo) arrayResource(loc ir.MemLoc) (ir.ResourceID, error) {
+	switch loc.Kind {
+	case ir.LocGlobal:
+		if r, ok := info.globalArr[loc.Global]; ok {
+			return r, nil
+		}
+	case ir.LocSlot:
+		if r, ok := info.slotArr[loc.Slot]; ok {
+			return r, nil
+		}
+	}
+	return ir.NoResource, fmt.Errorf("location %v has no array resource", loc)
+}
+
+func aliasedRefs(ids []ir.ResourceID) []ir.MemRef {
+	refs := make([]ir.MemRef, len(ids))
+	for i, id := range ids {
+		refs[i] = ir.MemRef{Res: id, Aliased: true}
+	}
+	return refs
+}
+
+func (info *funcInfo) annotate(in *ir.Instr) error {
+	in.MemDefs, in.MemUses = nil, nil
+	switch in.Op {
+	case ir.OpLoad:
+		r, err := info.cellResource(in.Loc)
+		if err != nil {
+			return err
+		}
+		in.MemUses = []ir.MemRef{{Res: r}}
+	case ir.OpStore:
+		r, err := info.cellResource(in.Loc)
+		if err != nil {
+			return err
+		}
+		in.MemDefs = []ir.MemRef{{Res: r}}
+	case ir.OpLoadIdx:
+		r, err := info.arrayResource(in.Loc)
+		if err != nil {
+			return err
+		}
+		in.MemUses = []ir.MemRef{{Res: r, Aliased: true}}
+	case ir.OpStoreIdx:
+		// Weak update: element stores preserve the rest of the array.
+		r, err := info.arrayResource(in.Loc)
+		if err != nil {
+			return err
+		}
+		in.MemDefs = []ir.MemRef{{Res: r, Aliased: true}}
+		in.MemUses = []ir.MemRef{{Res: r, Aliased: true}}
+	case ir.OpLoadPtr:
+		in.MemUses = aliasedRefs(info.derefSet)
+	case ir.OpStorePtr:
+		in.MemDefs = aliasedRefs(info.derefSet)
+		in.MemUses = aliasedRefs(info.derefSet)
+	case ir.OpCall:
+		in.MemDefs = aliasedRefs(info.callSet)
+		in.MemUses = aliasedRefs(info.callSet)
+	case ir.OpRet:
+		// Globals remain observable after the function returns, so a
+		// return acts as an aliased load of every global resource. This
+		// is what keeps "dead" global stores alive across the exit and
+		// forces promotion to write values back before leaving.
+		in.MemUses = aliasedRefs(info.retSet)
+	}
+	return nil
+}
+
+// computeSlotEscapes marks slots whose address can leave the function:
+// passed to a call, stored into memory, returned, or laundered through
+// arithmetic. Address values are tracked through copies with a fixed
+// point over the (pre-SSA) register file.
+func computeSlotEscapes(f *ir.Function) {
+	// holds[r] = set of slots whose address register r may hold.
+	holds := make([]map[*ir.Slot]bool, f.NumRegs)
+	add := func(r ir.RegID, s *ir.Slot) bool {
+		if holds[r] == nil {
+			holds[r] = make(map[*ir.Slot]bool)
+		}
+		if holds[r][s] {
+			return false
+		}
+		holds[r][s] = true
+		return true
+	}
+	union := func(dst ir.RegID, src ir.Value) bool {
+		if src.IsConst() {
+			return false
+		}
+		changed := false
+		for s := range holds[src.Reg()] {
+			if add(dst, s) {
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch {
+				case in.Op == ir.OpAddr && in.Loc.Kind == ir.LocSlot:
+					if add(in.Dst, in.Loc.Slot) {
+						changed = true
+					}
+				case in.Op == ir.OpLoad, in.Op == ir.OpLoadPtr, in.Op == ir.OpLoadIdx, in.Op == ir.OpCall:
+					// Results of memory loads and calls are never
+					// addresses: the type system forbids storing or
+					// returning pointers and converting ints to
+					// pointers, so memory cannot hold an address.
+				case in.HasDst():
+					// Copies, phis, and arithmetic propagate taint from
+					// their operands.
+					for _, a := range in.Args {
+						if union(in.Dst, a) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	escape := func(v ir.Value) {
+		if v.IsConst() {
+			return
+		}
+		for s := range holds[v.Reg()] {
+			s.Escapes = true
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpCall:
+				for _, a := range in.Args {
+					escape(a)
+				}
+			case ir.OpRet:
+				for _, a := range in.Args {
+					escape(a)
+				}
+			case ir.OpStore:
+				escape(in.Args[0])
+			case ir.OpStoreIdx:
+				escape(in.Args[1])
+			case ir.OpStorePtr:
+				escape(in.Args[1]) // stored value escapes; the pointer itself does not
+			}
+		}
+	}
+}

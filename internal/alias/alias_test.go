@@ -1,0 +1,351 @@
+package alias
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/source"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := source.Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := Analyze(prog); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return prog
+}
+
+func findOp(f *ir.Function, op ir.Op) *ir.Instr {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				return in
+			}
+		}
+	}
+	return nil
+}
+
+func resNames(f *ir.Function, refs []ir.MemRef) map[string]bool {
+	names := map[string]bool{}
+	for _, r := range refs {
+		names[f.Res(r.Res).Name] = true
+	}
+	return names
+}
+
+func TestDirectLoadStoreSingleton(t *testing.T) {
+	prog := compile(t, `
+int x;
+int y;
+void main() { x = y + 1; }
+`)
+	main := prog.Func("main")
+	ld := findOp(main, ir.OpLoad)
+	st := findOp(main, ir.OpStore)
+	if ld == nil || st == nil {
+		t.Fatal("missing load/store")
+	}
+	if len(ld.MemUses) != 1 || ld.MemUses[0].Aliased {
+		t.Fatalf("load MemUses = %v, want one non-aliased", ld.MemUses)
+	}
+	if main.Res(ld.MemUses[0].Res).Name != "y" {
+		t.Errorf("load uses %s, want y", main.Res(ld.MemUses[0].Res).Name)
+	}
+	if len(st.MemDefs) != 1 || st.MemDefs[0].Aliased {
+		t.Fatalf("store MemDefs = %v, want one non-aliased", st.MemDefs)
+	}
+	if main.Res(st.MemDefs[0].Res).Name != "x" {
+		t.Errorf("store defines %s, want x", main.Res(st.MemDefs[0].Res).Name)
+	}
+}
+
+func TestCallTouchesAllGlobals(t *testing.T) {
+	prog := compile(t, `
+int x;
+int y;
+int arr[4];
+void foo() { x = 1; }
+void main() { foo(); }
+`)
+	main := prog.Func("main")
+	call := findOp(main, ir.OpCall)
+	if call == nil {
+		t.Fatal("no call")
+	}
+	defs := resNames(main, call.MemDefs)
+	uses := resNames(main, call.MemUses)
+	for _, want := range []string{"x", "y", "arr"} {
+		if !defs[want] || !uses[want] {
+			t.Errorf("call should def+use %s: defs=%v uses=%v", want, defs, uses)
+		}
+	}
+	for _, r := range call.MemDefs {
+		if !r.Aliased {
+			t.Errorf("call def of %s not marked aliased", main.Res(r.Res))
+		}
+	}
+}
+
+func TestDerefAliasesOnlyAddrTaken(t *testing.T) {
+	prog := compile(t, `
+int x;
+int y;
+void main() {
+	int a = 3;
+	int* p = &x;
+	*p = 9;
+	print(a + y);
+}
+`)
+	main := prog.Func("main")
+	sp := findOp(main, ir.OpStorePtr)
+	if sp == nil {
+		t.Fatal("no storeptr")
+	}
+	defs := resNames(main, sp.MemDefs)
+	if !defs["x"] {
+		t.Errorf("deref should alias x: %v", defs)
+	}
+	if defs["y"] {
+		t.Errorf("deref must not alias y (address never taken): %v", defs)
+	}
+	// Weak update: every aliased def pairs with a use.
+	if len(sp.MemUses) != len(sp.MemDefs) {
+		t.Errorf("weak update needs matching uses: %d defs, %d uses", len(sp.MemDefs), len(sp.MemUses))
+	}
+}
+
+func TestDerefAliasesAddrTakenLocal(t *testing.T) {
+	prog := compile(t, `
+int g;
+void main() {
+	int a = 1;
+	int* p = &a;
+	*p = 2;
+	print(a);
+}
+`)
+	main := prog.Func("main")
+	sp := findOp(main, ir.OpStorePtr)
+	defs := resNames(main, sp.MemDefs)
+	if !defs["a"] {
+		t.Errorf("deref should alias local a: %v", defs)
+	}
+	if defs["g"] {
+		t.Errorf("deref must not alias g: %v", defs)
+	}
+}
+
+func TestEscapedSlotKilledByCall(t *testing.T) {
+	prog := compile(t, `
+void sink(int* p) { *p = 5; }
+void main() {
+	int a = 1;
+	sink(&a);
+	print(a);
+}
+`)
+	main := prog.Func("main")
+	slot := main.FindSlot("a")
+	if slot == nil || !slot.Escapes {
+		t.Fatalf("slot a should escape: %+v", slot)
+	}
+	call := findOp(main, ir.OpCall)
+	defs := resNames(main, call.MemDefs)
+	if !defs["a"] {
+		t.Errorf("call should def escaped local a: %v", defs)
+	}
+}
+
+func TestNonEscapedSlotNotKilledByCall(t *testing.T) {
+	prog := compile(t, `
+void foo() {}
+void main() {
+	int a = 1;
+	int* p = &a;
+	foo();
+	*p = 2;
+	print(a);
+}
+`)
+	main := prog.Func("main")
+	slot := main.FindSlot("a")
+	if slot == nil {
+		t.Fatal("no slot a")
+	}
+	if slot.Escapes {
+		t.Error("a's address never leaves main; it must not escape")
+	}
+	call := findOp(main, ir.OpCall)
+	defs := resNames(main, call.MemDefs)
+	if defs["a"] {
+		t.Errorf("call must not def non-escaped local a: %v", defs)
+	}
+}
+
+func TestEscapeThroughCopyChain(t *testing.T) {
+	prog := compile(t, `
+void sink(int* p) { *p = 5; }
+void main() {
+	int a = 1;
+	int* p = &a;
+	int* q = p;
+	sink(q);
+	print(a);
+}
+`)
+	main := prog.Func("main")
+	slot := main.FindSlot("a")
+	if slot == nil || !slot.Escapes {
+		t.Error("address flowing through a copy chain must escape")
+	}
+}
+
+func TestEscapeThroughReturn(t *testing.T) {
+	// Returning an address publishes it: the slot must escape. (The
+	// program never dereferences the dangling pointer; it only checks
+	// the analysis verdict.)
+	prog := compile(t, `
+int keep(int* p) { return *p; }
+void main() {
+	int a = 1;
+	print(keep(&a));
+}
+`)
+	main := prog.Func("main")
+	slot := main.FindSlot("a")
+	if slot == nil || !slot.Escapes {
+		t.Fatalf("address passed to call must escape: %+v", slot)
+	}
+}
+
+func TestEscapeThroughStoreToMemory(t *testing.T) {
+	prog := compile(t, `
+int mailbox;
+void main() {
+	int a = 5;
+	int* p = &a;
+	int addr = 0;
+	mailbox = *p;
+	print(mailbox);
+}
+`)
+	// *p is a plain deref (no escape); a is address-taken but its
+	// address never leaves main.
+	main := prog.Func("main")
+	slot := main.FindSlot("a")
+	if slot == nil {
+		t.Fatal("no slot")
+	}
+	if slot.Escapes {
+		t.Error("deref-only address must not escape")
+	}
+	if !slot.AddrTaken {
+		t.Error("slot must be address-taken")
+	}
+}
+
+func TestRetUsesAllGlobals(t *testing.T) {
+	prog := compile(t, `
+int x;
+int arr[2];
+void main() { x = 1; }
+`)
+	main := prog.Func("main")
+	var ret *ir.Instr
+	for _, b := range main.Blocks {
+		if tm := b.Term(); tm != nil && tm.Op == ir.OpRet {
+			ret = tm
+		}
+	}
+	if ret == nil {
+		t.Fatal("no ret")
+	}
+	uses := resNames(main, ret.MemUses)
+	if !uses["x"] || !uses["arr"] {
+		t.Errorf("ret uses %v, want x and arr (globals observable after return)", uses)
+	}
+	for _, u := range ret.MemUses {
+		if !u.Aliased {
+			t.Error("ret uses must be aliased references")
+		}
+	}
+}
+
+func TestArrayOpsUseArrayResourceOnly(t *testing.T) {
+	prog := compile(t, `
+int x;
+int a[8];
+void main() {
+	a[0] = x;
+	x = a[1];
+}
+`)
+	main := prog.Func("main")
+	li := findOp(main, ir.OpLoadIdx)
+	si := findOp(main, ir.OpStoreIdx)
+	if names := resNames(main, li.MemUses); !names["a"] || names["x"] {
+		t.Errorf("loadidx uses %v, want only a", names)
+	}
+	if names := resNames(main, si.MemDefs); !names["a"] || names["x"] {
+		t.Errorf("storeidx defs %v, want only a", names)
+	}
+	// Array resources are not promotable.
+	for _, r := range main.Resources {
+		if r.Name == "a" && r.Promotable() {
+			t.Error("array resource must not be promotable")
+		}
+		if r.Name == "x" && !r.Promotable() {
+			t.Error("scalar resource must be promotable")
+		}
+	}
+}
+
+func TestStructFieldsGetDistinctResources(t *testing.T) {
+	prog := compile(t, `
+struct pt { int x; int y; };
+struct pt p;
+void main() {
+	p.x = 1;
+	p.y = 2;
+}
+`)
+	main := prog.Func("main")
+	var defs []string
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpStore {
+				defs = append(defs, main.Res(in.MemDefs[0].Res).Name)
+			}
+		}
+	}
+	if len(defs) != 2 || defs[0] == defs[1] {
+		t.Errorf("struct field stores share a resource: %v", defs)
+	}
+}
+
+func TestResourceTablesDeterministic(t *testing.T) {
+	src := `
+int a; int b; int c[3];
+void f() { a = b; }
+void main() { f(); c[0] = a; }
+`
+	p1 := compile(t, src)
+	p2 := compile(t, src)
+	for i := range p1.Funcs {
+		f1, f2 := p1.Funcs[i], p2.Funcs[i]
+		if len(f1.Resources) != len(f2.Resources) {
+			t.Fatalf("resource count differs: %d vs %d", len(f1.Resources), len(f2.Resources))
+		}
+		for j := range f1.Resources {
+			if f1.Resources[j].Name != f2.Resources[j].Name {
+				t.Fatalf("resource %d differs: %s vs %s", j, f1.Resources[j].Name, f2.Resources[j].Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package baseline implements the loop-based register promotion the
+// paper compares against (in the style of Lu–Cooper, PLDI 1997, and the
+// IMPACT compiler's global variable migration): for each loop,
+// innermost first, promote every scalar variable whose references in
+// the loop are all unambiguous direct loads and stores. One aliased
+// reference — a call or pointer access that may touch the variable —
+// anywhere in the loop disqualifies the variable for that loop, no
+// matter how rarely the aliased path executes. The pass is profile-
+// blind and runs on the normalized pre-SSA IR.
+//
+// The contrast with the paper's algorithm (internal/core) is the point:
+// on loops whose only aliased references sit on cold paths, the
+// baseline does nothing while the SSA algorithm promotes and pays one
+// compensation load and store on the cold path.
+package baseline
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// Stats reports what the baseline promoter did.
+type Stats struct {
+	VarsConsidered int
+	VarsPromoted   int
+	LoadsReplaced  int
+	StoresDeleted  int
+	LoadsInserted  int
+	StoresInserted int
+}
+
+// PromoteFunction promotes scalars loop by loop, bottom-up. The
+// function must be alias-annotated, normalized, and not in SSA form.
+func PromoteFunction(f *ir.Function, forest *cfg.Forest) *Stats {
+	st := &Stats{}
+	forest.Root.Walk(func(iv *cfg.Interval) {
+		if iv.Root {
+			return
+		}
+		promoteInLoop(f, iv, st)
+	})
+	return st
+}
+
+func promoteInLoop(f *ir.Function, iv *cfg.Interval, st *Stats) {
+	// Classify every base resource referenced in the loop.
+	direct := make(map[ir.ResourceID]bool)  // has direct load/store
+	aliased := make(map[ir.ResourceID]bool) // has aliased ref
+	scan := func(refs []ir.MemRef) {
+		for _, r := range refs {
+			base := f.BaseOf(r.Res)
+			if !base.Promotable() {
+				continue
+			}
+			if r.Aliased {
+				aliased[base.ID] = true
+			} else {
+				direct[base.ID] = true
+			}
+		}
+	}
+	for _, b := range iv.Blocks {
+		for _, in := range b.Instrs {
+			scan(in.MemDefs)
+			scan(in.MemUses)
+		}
+	}
+
+	for _, base := range sortedKeys(direct) {
+		st.VarsConsidered++
+		if aliased[base] {
+			continue // ambiguous reference anywhere in the loop: skip
+		}
+		promoteVar(f, iv, base, st)
+		st.VarsPromoted++
+	}
+}
+
+func promoteVar(f *ir.Function, iv *cfg.Interval, base ir.ResourceID, st *Stats) {
+	res := f.Res(base)
+	reg := f.NewReg(res.Name)
+
+	// Load the variable into the register at the preheader.
+	ld := ir.NewInstr(ir.OpLoad, reg)
+	ld.Loc = res.Loc
+	ld.MemUses = []ir.MemRef{{Res: base}}
+	iv.Preheader.InsertBeforeTerm(ld)
+	st.LoadsInserted++
+
+	// Rewrite every direct reference in the loop.
+	hasStore := false
+	for _, b := range iv.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpLoad:
+				if in.MemUses[0].Res == base {
+					in.Op = ir.OpCopy
+					in.Args = []ir.Value{ir.RegVal(reg)}
+					in.Loc = ir.MemLoc{}
+					in.MemUses = nil
+					st.LoadsReplaced++
+				}
+			case ir.OpStore:
+				if in.MemDefs[0].Res == base {
+					in.Op = ir.OpCopy
+					in.Dst = reg
+					// Args[0] (the stored value) becomes the copy source.
+					in.Loc = ir.MemLoc{}
+					in.MemDefs = nil
+					hasStore = true
+					st.StoresDeleted++
+				}
+			}
+		}
+	}
+
+	// Store back at every exit if the loop modified the variable.
+	if hasStore {
+		for _, e := range iv.ExitEdges {
+			stIn := ir.NewInstr(ir.OpStore, ir.NoReg, ir.RegVal(reg))
+			stIn.Loc = res.Loc
+			stIn.MemDefs = []ir.MemRef{{Res: base}}
+			if first := firstNonPhi(e.Tail); first != nil {
+				e.Tail.InsertBefore(stIn, first)
+			} else {
+				e.Tail.Append(stIn)
+			}
+			st.StoresInserted++
+		}
+	}
+}
+
+func firstNonPhi(b *ir.Block) *ir.Instr {
+	for _, in := range b.Instrs {
+		if !in.Op.IsPhi() {
+			return in
+		}
+	}
+	return nil
+}
+
+func sortedKeys(set map[ir.ResourceID]bool) []ir.ResourceID {
+	out := make([]ir.ResourceID, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

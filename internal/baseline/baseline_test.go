@@ -1,0 +1,119 @@
+package baseline_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+// run executes the baseline pipeline and checks semantic equivalence.
+func run(t *testing.T, src string) *pipeline.Outcome {
+	t.Helper()
+	out, err := pipeline.Run(src, pipeline.Options{Algorithm: pipeline.AlgBaseline})
+	if err != nil {
+		t.Fatalf("pipeline.Run: %v", err)
+	}
+	if !reflect.DeepEqual(out.Before.Output, out.After.Output) {
+		t.Fatalf("baseline changed output:\nbefore: %v\nafter:  %v\n%s",
+			out.Before.Output, out.After.Output, out.Prog)
+	}
+	if !reflect.DeepEqual(out.Before.Globals, out.After.Globals) {
+		t.Fatalf("baseline changed globals:\nbefore: %v\nafter:  %v", out.Before.Globals, out.After.Globals)
+	}
+	return out
+}
+
+func TestBaselinePromotesCleanLoop(t *testing.T) {
+	out := run(t, `
+int x;
+void main() {
+	int i;
+	for (i = 0; i < 100; i++) x++;
+	print(x);
+}`)
+	if out.TotalStats.WebsPromoted == 0 {
+		t.Fatalf("clean loop not promoted: %+v", out.TotalStats)
+	}
+	if out.After.DynMemOps() > 5 {
+		t.Errorf("after promotion %d mem ops, want <= 5 (before %d)",
+			out.After.DynMemOps(), out.Before.DynMemOps())
+	}
+}
+
+func TestBaselineRefusesLoopWithCall(t *testing.T) {
+	// The defining weakness the paper targets: one call anywhere in the
+	// loop and the baseline gives up entirely, however cold the path.
+	out := run(t, `
+int x;
+int log;
+void foo() { log = log + 1; }
+void main() {
+	int i;
+	for (i = 0; i < 100; i++) {
+		x++;
+		if (x > 95) foo();
+	}
+	print(x);
+}`)
+	if out.After.DynMemOps() != out.Before.DynMemOps() {
+		t.Errorf("baseline should not touch a call-bearing loop: before=%d after=%d",
+			out.Before.DynMemOps(), out.After.DynMemOps())
+	}
+}
+
+func TestBaselineRefusesLoopWithPointer(t *testing.T) {
+	out := run(t, `
+int x;
+void main() {
+	int* p = &x;
+	int i;
+	for (i = 0; i < 50; i++) {
+		x++;
+		if (i == 49) { *p = 0; }
+	}
+	print(x);
+}`)
+	// x is aliased by *p inside the loop: untouchable for the baseline.
+	mainStats := out.Stats["main"]
+	if mainStats.WebsPromoted != 0 {
+		t.Errorf("baseline promoted an aliased variable: %+v", mainStats)
+	}
+}
+
+func TestBaselineNestedLoops(t *testing.T) {
+	out := run(t, `
+int g;
+void main() {
+	int i; int j;
+	for (i = 0; i < 10; i++) {
+		for (j = 0; j < 10; j++) g += j;
+	}
+	print(g);
+}`)
+	// Inner promotion leaves a load/store pair in the outer loop; outer
+	// promotion lifts them again. Memory traffic collapses to O(1).
+	if out.After.DynMemOps() > 6 {
+		t.Errorf("nested baseline promotion left %d mem ops (before %d)",
+			out.After.DynMemOps(), out.Before.DynMemOps())
+	}
+}
+
+func TestBaselinePromotesReadOnly(t *testing.T) {
+	out := run(t, `
+int limit = 500;
+void main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < limit; i++) s += i;
+	print(s);
+}`)
+	if out.After.DynLoads() > 4 {
+		t.Errorf("read-only global not hoisted: %d loads (before %d)",
+			out.After.DynLoads(), out.Before.DynLoads())
+	}
+	// No stores in the loop: no store-back may be added.
+	if out.After.DynStores() > out.Before.DynStores() {
+		t.Errorf("baseline added stores to a read-only promotion")
+	}
+}

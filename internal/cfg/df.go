@@ -1,0 +1,75 @@
+package cfg
+
+import "repro/internal/ir"
+
+// DomFrontiers maps each block to its dominance frontier.
+type DomFrontiers map[*ir.Block][]*ir.Block
+
+// BuildDomFrontiers computes dominance frontiers with the Cytron et al.
+// two-pointer walk: for every join block b, each predecessor p and every
+// dominator of p up to (but excluding) idom(b) has b in its frontier.
+func BuildDomFrontiers(t *DomTree) DomFrontiers {
+	df := make(DomFrontiers)
+	inDF := make(map[*ir.Block]map[*ir.Block]bool)
+	add := func(runner, b *ir.Block) {
+		set := inDF[runner]
+		if set == nil {
+			set = make(map[*ir.Block]bool)
+			inDF[runner] = set
+		}
+		if !set[b] {
+			set[b] = true
+			df[runner] = append(df[runner], b)
+		}
+	}
+	for _, b := range t.RPO() {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			if t.RPOIndex(p) < 0 {
+				continue
+			}
+			runner := p
+			for runner != t.Idom(b) {
+				add(runner, b)
+				runner = t.Idom(runner)
+			}
+		}
+	}
+	return df
+}
+
+// IteratedDF returns the iterated dominance frontier of the given set of
+// definition blocks: the fixed point DF+(S) used for phi placement. The
+// worklist formulation processes every definition site in one pass, which
+// is the batch usage the paper's incremental SSA update calls for (one
+// IDF computation for all cloned definitions, standing in for the
+// Sreedhar–Gao linear-time placement it cites).
+func IteratedDF(df DomFrontiers, defs []*ir.Block) []*ir.Block {
+	inResult := make(map[*ir.Block]bool)
+	queued := make(map[*ir.Block]bool)
+	var result []*ir.Block
+	work := make([]*ir.Block, 0, len(defs))
+	for _, d := range defs {
+		if !queued[d] {
+			queued[d] = true
+			work = append(work, d)
+		}
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, fb := range df[b] {
+			if !inResult[fb] {
+				inResult[fb] = true
+				result = append(result, fb)
+				if !queued[fb] {
+					queued[fb] = true
+					work = append(work, fb)
+				}
+			}
+		}
+	}
+	return result
+}

@@ -1,0 +1,146 @@
+package cfg
+
+import "repro/internal/ir"
+
+// DomTree is the dominator tree of a function, built with the
+// Cooper–Harvey–Kennedy iterative algorithm over reverse postorder.
+type DomTree struct {
+	f        *ir.Function
+	rpo      []*ir.Block
+	rpoIndex map[*ir.Block]int
+	idom     map[*ir.Block]*ir.Block
+	children map[*ir.Block][]*ir.Block
+	depth    map[*ir.Block]int
+}
+
+// BuildDomTree computes the dominator tree of f. Unreachable blocks are
+// ignored; callers normally run RemoveUnreachable first.
+func BuildDomTree(f *ir.Function) *DomTree {
+	t := &DomTree{
+		f:        f,
+		rpo:      ReversePostorder(f),
+		rpoIndex: make(map[*ir.Block]int),
+		idom:     make(map[*ir.Block]*ir.Block),
+		children: make(map[*ir.Block][]*ir.Block),
+		depth:    make(map[*ir.Block]int),
+	}
+	for i, b := range t.rpo {
+		t.rpoIndex[b] = i
+	}
+	entry := f.Entry()
+	t.idom[entry] = entry
+
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for t.rpoIndex[a] > t.rpoIndex[b] {
+				a = t.idom[a]
+			}
+			for t.rpoIndex[b] > t.rpoIndex[a] {
+				b = t.idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range t.rpo[1:] {
+			var newIdom *ir.Block
+			for _, p := range b.Preds {
+				if _, ok := t.rpoIndex[p]; !ok {
+					continue // unreachable predecessor
+				}
+				if t.idom[p] == nil {
+					continue // not yet processed this round
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && t.idom[b] != newIdom {
+				t.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	for _, b := range t.rpo[1:] {
+		t.children[t.idom[b]] = append(t.children[t.idom[b]], b)
+	}
+	// Depths in RPO order: idom always precedes its children in RPO.
+	for _, b := range t.rpo[1:] {
+		t.depth[b] = t.depth[t.idom[b]] + 1
+	}
+	return t
+}
+
+// Idom returns the immediate dominator of b; the entry block returns
+// itself.
+func (t *DomTree) Idom(b *ir.Block) *ir.Block { return t.idom[b] }
+
+// Children returns the dominator-tree children of b.
+func (t *DomTree) Children(b *ir.Block) []*ir.Block { return t.children[b] }
+
+// Depth returns the dominator-tree depth of b (entry = 0).
+func (t *DomTree) Depth(b *ir.Block) int { return t.depth[b] }
+
+// RPO returns the reverse postorder the tree was built over.
+func (t *DomTree) RPO() []*ir.Block { return t.rpo }
+
+// RPOIndex returns b's reverse-postorder number, or -1 if unreachable.
+func (t *DomTree) RPOIndex(b *ir.Block) int {
+	if i, ok := t.rpoIndex[b]; ok {
+		return i
+	}
+	return -1
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b *ir.Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := t.idom[b]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// StrictlyDominates reports whether a dominates b and a != b.
+func (t *DomTree) StrictlyDominates(a, b *ir.Block) bool {
+	return a != b && t.Dominates(a, b)
+}
+
+// LCA returns the least common ancestor of a and b in the dominator
+// tree: the deepest block that dominates both.
+func (t *DomTree) LCA(a, b *ir.Block) *ir.Block {
+	for t.depth[a] > t.depth[b] {
+		a = t.idom[a]
+	}
+	for t.depth[b] > t.depth[a] {
+		b = t.idom[b]
+	}
+	for a != b {
+		a = t.idom[a]
+		b = t.idom[b]
+	}
+	return a
+}
+
+// LeastCommonDominator returns the deepest block dominating every block
+// in the list, or nil for an empty list.
+func (t *DomTree) LeastCommonDominator(blocks []*ir.Block) *ir.Block {
+	if len(blocks) == 0 {
+		return nil
+	}
+	lca := blocks[0]
+	for _, b := range blocks[1:] {
+		lca = t.LCA(lca, b)
+	}
+	return lca
+}

@@ -1,0 +1,261 @@
+package cfg
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Interval is a strongly connected region of the CFG — usually a natural
+// loop — in the sense used by the register promotion paper. Intervals
+// nest, forming a tree whose root is a pseudo-interval covering the whole
+// function body (the root is never itself promoted; it is the outermost
+// scope into which inner promotions push their compensation loads and
+// stores).
+type Interval struct {
+	// Header is the representative entry block: the unique entry of a
+	// proper interval, or the lowest-RPO entry of an improper one.
+	Header *ir.Block
+	// Entries lists every block of the interval with a predecessor
+	// outside it. Proper intervals have exactly one entry.
+	Entries []*ir.Block
+	// Blocks holds every block of the interval, including blocks of
+	// nested child intervals, in reverse postorder.
+	Blocks []*ir.Block
+	// Children are the intervals nested immediately inside this one.
+	Children []*Interval
+	Parent   *Interval
+	// Depth is the nesting depth; the root pseudo-interval has depth 0.
+	Depth int
+	// Root marks the whole-function pseudo-interval.
+	Root bool
+
+	// Preheader is the dedicated block that strictly dominates the whole
+	// interval, where promotion places its initial loads. It is set by
+	// Normalize (nil for the root, whose "preheader" is the entry block
+	// itself).
+	Preheader *ir.Block
+	// ExitEdges lists the edges leaving the interval. After Normalize,
+	// every exit edge's target (its "tail") has that edge as its only
+	// incoming edge.
+	ExitEdges []ExitEdge
+
+	blockSet map[*ir.Block]bool
+}
+
+// ExitEdge is an edge from a block inside an interval to one outside.
+// Tail is the target block, which after normalization is dedicated to
+// this edge.
+type ExitEdge struct {
+	From *ir.Block
+	Tail *ir.Block
+}
+
+// Proper reports whether the interval has a single entry block.
+func (iv *Interval) Proper() bool { return len(iv.Entries) == 1 }
+
+// Contains reports whether b belongs to the interval (including nested
+// children).
+func (iv *Interval) Contains(b *ir.Block) bool { return iv.blockSet[b] }
+
+// Walk visits the interval and its descendants bottom-up (children
+// before parents), the traversal order of the promotion driver.
+func (iv *Interval) Walk(visit func(*Interval)) {
+	for _, c := range iv.Children {
+		c.Walk(visit)
+	}
+	visit(iv)
+}
+
+// Forest is the interval tree of one function.
+type Forest struct {
+	// Root is the whole-function pseudo-interval.
+	Root *Interval
+	// innermost maps each block to the innermost interval containing it.
+	innermost map[*ir.Block]*Interval
+}
+
+// InnermostInterval returns the innermost interval containing b (the
+// root pseudo-interval if b is in no loop).
+func (fo *Forest) InnermostInterval(b *ir.Block) *Interval { return fo.innermost[b] }
+
+// BuildIntervals computes the interval forest of f using nested
+// strongly-connected-component decomposition: every non-trivial SCC of
+// the CFG is an interval; removing its entry blocks and re-running SCC
+// inside exposes nested intervals. This handles improper (multi-entry,
+// irreducible) regions uniformly.
+func BuildIntervals(f *ir.Function) *Forest {
+	rpo := ReversePostorder(f)
+	rpoIdx := make(map[*ir.Block]int, len(rpo))
+	for i, b := range rpo {
+		rpoIdx[b] = i
+	}
+
+	root := &Interval{
+		Header:   f.Entry(),
+		Entries:  []*ir.Block{f.Entry()},
+		Blocks:   rpo,
+		Root:     true,
+		blockSet: make(map[*ir.Block]bool, len(rpo)),
+	}
+	for _, b := range rpo {
+		root.blockSet[b] = true
+	}
+	fo := &Forest{Root: root, innermost: make(map[*ir.Block]*Interval, len(rpo))}
+	for _, b := range rpo {
+		fo.innermost[b] = root
+	}
+
+	var decompose func(parent *Interval, nodes []*ir.Block, inScope map[*ir.Block]bool)
+	decompose = func(parent *Interval, nodes []*ir.Block, inScope map[*ir.Block]bool) {
+		for _, scc := range stronglyConnected(nodes, inScope) {
+			if len(scc) == 1 && !hasSelfLoop(scc[0]) {
+				continue
+			}
+			iv := newInterval(scc, rpoIdx)
+			iv.Parent = parent
+			iv.Depth = parent.Depth + 1
+			parent.Children = append(parent.Children, iv)
+			for _, b := range iv.Blocks {
+				fo.innermost[b] = iv
+			}
+			// Recurse inside, with the entries removed, to find nested
+			// intervals.
+			inner := make(map[*ir.Block]bool, len(scc))
+			for _, b := range scc {
+				inner[b] = true
+			}
+			for _, e := range iv.Entries {
+				delete(inner, e)
+			}
+			var innerNodes []*ir.Block
+			for _, b := range iv.Blocks {
+				if inner[b] {
+					innerNodes = append(innerNodes, b)
+				}
+			}
+			decompose(iv, innerNodes, inner)
+		}
+	}
+	decompose(root, rpo, root.blockSet)
+
+	// innermost currently maps to the shallowest; fix by walking down.
+	var fixInnermost func(iv *Interval)
+	fixInnermost = func(iv *Interval) {
+		for _, b := range iv.Blocks {
+			if fo.innermost[b].Depth < iv.Depth {
+				fo.innermost[b] = iv
+			}
+		}
+		for _, c := range iv.Children {
+			fixInnermost(c)
+		}
+	}
+	fixInnermost(root)
+
+	computeExitEdges(root)
+	return fo
+}
+
+func newInterval(scc []*ir.Block, rpoIdx map[*ir.Block]int) *Interval {
+	iv := &Interval{blockSet: make(map[*ir.Block]bool, len(scc))}
+	for _, b := range scc {
+		iv.blockSet[b] = true
+	}
+	sort.Slice(scc, func(i, j int) bool { return rpoIdx[scc[i]] < rpoIdx[scc[j]] })
+	iv.Blocks = scc
+	for _, b := range scc {
+		for _, p := range b.Preds {
+			if !iv.blockSet[p] {
+				iv.Entries = append(iv.Entries, b)
+				break
+			}
+		}
+	}
+	if len(iv.Entries) == 0 {
+		// Degenerate: unreachable cycle; treat lowest-RPO block as entry.
+		iv.Entries = []*ir.Block{scc[0]}
+	}
+	iv.Header = iv.Entries[0]
+	return iv
+}
+
+func hasSelfLoop(b *ir.Block) bool {
+	for _, s := range b.Succs {
+		if s == b {
+			return true
+		}
+	}
+	return false
+}
+
+func computeExitEdges(iv *Interval) {
+	for _, c := range iv.Children {
+		computeExitEdges(c)
+	}
+	if iv.Root {
+		return
+	}
+	iv.ExitEdges = iv.ExitEdges[:0]
+	for _, b := range iv.Blocks {
+		for _, s := range b.Succs {
+			if !iv.blockSet[s] {
+				iv.ExitEdges = append(iv.ExitEdges, ExitEdge{From: b, Tail: s})
+			}
+		}
+	}
+}
+
+// stronglyConnected returns the non-trivial-or-singleton SCCs of the
+// subgraph induced by nodes (edges restricted to inScope), in an order
+// where each SCC's members keep their input order stability via Tarjan's
+// algorithm.
+func stronglyConnected(nodes []*ir.Block, inScope map[*ir.Block]bool) [][]*ir.Block {
+	index := make(map[*ir.Block]int, len(nodes))
+	low := make(map[*ir.Block]int, len(nodes))
+	onStack := make(map[*ir.Block]bool, len(nodes))
+	var stack []*ir.Block
+	var sccs [][]*ir.Block
+	next := 0
+
+	var strong func(v *ir.Block)
+	strong = func(v *ir.Block) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range v.Succs {
+			if !inScope[w] {
+				continue
+			}
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []*ir.Block
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+	return sccs
+}

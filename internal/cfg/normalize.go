@@ -1,0 +1,156 @@
+package cfg
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// SplitCriticalEdges splits every critical edge of f (an edge whose
+// source has multiple successors and whose target has multiple
+// predecessors) by inserting a jump-only block, and returns the number of
+// edges split. The promotion paper assumes interval entry and exit edges
+// are never critical; splitting everything up front establishes that
+// globally.
+func SplitCriticalEdges(f *ir.Function) int {
+	split := 0
+	// Snapshot the block list: SplitEdge appends new blocks.
+	blocks := append([]*ir.Block(nil), f.Blocks...)
+	for _, b := range blocks {
+		if len(b.Succs) < 2 {
+			continue
+		}
+		for i, s := range b.Succs {
+			if len(s.Preds) > 1 {
+				f.SplitEdge(b, s, i)
+				split++
+			}
+		}
+	}
+	return split
+}
+
+// Normalize prepares f for interval-based register promotion:
+//
+//  1. removes unreachable blocks,
+//  2. splits all critical edges,
+//  3. gives every proper interval a dedicated preheader (a block with
+//     the interval header as its only successor, carrying every edge
+//     that enters the interval from outside),
+//  4. gives every interval exit edge a dedicated tail block (the
+//     target's only incoming edge is that exit edge),
+//
+// and returns the resulting interval forest with Preheader fields set.
+// For improper (multi-entry) intervals, the preheader is the paper's
+// "least common dominator of all of the entry basic blocks", walked up
+// the dominator tree until it lies outside the interval; such a
+// preheader is not dedicated, and promotion inserts its loads before the
+// block's terminator. Normalize must run before SSA construction (it
+// does not update phis when retargeting entry edges).
+func Normalize(f *ir.Function) (*Forest, error) {
+	RemoveUnreachable(f)
+	SplitCriticalEdges(f)
+
+	var forest *Forest
+	for round := 0; ; round++ {
+		if round > 4*len(f.Blocks)+16 {
+			return nil, fmt.Errorf("cfg: Normalize(%s) did not converge", f.Name)
+		}
+		forest = BuildIntervals(f)
+		changed := false
+		forest.Root.Walk(func(iv *Interval) {
+			if iv.Root {
+				return
+			}
+			if insertPreheader(f, iv) {
+				changed = true
+			}
+			if dedicateTails(f, iv) {
+				changed = true
+			}
+		})
+		if !changed {
+			break
+		}
+	}
+
+	annotatePreheaders(f, forest)
+	return forest, nil
+}
+
+// insertPreheader ensures a proper interval has a dedicated preheader and
+// reports whether it changed the CFG.
+func insertPreheader(f *ir.Function, iv *Interval) bool {
+	if !iv.Proper() {
+		return false
+	}
+	header := iv.Header
+	var outside []*ir.Block
+	for _, p := range header.Preds {
+		if !iv.Contains(p) {
+			outside = append(outside, p)
+		}
+	}
+	if len(outside) == 1 && len(outside[0].Succs) == 1 {
+		return false // dedicated preheader already exists
+	}
+	pre := f.NewBlock()
+	pre.Append(ir.NewInstr(ir.OpJmp, ir.NoReg))
+	for _, p := range outside {
+		for i, s := range p.Succs {
+			if s == header {
+				p.Succs[i] = pre
+				pre.Preds = append(pre.Preds, p)
+			}
+		}
+		// Drop p from header's preds (no phis exist pre-SSA).
+		for i := len(header.Preds) - 1; i >= 0; i-- {
+			if header.Preds[i] == p {
+				header.Preds = append(header.Preds[:i], header.Preds[i+1:]...)
+			}
+		}
+	}
+	ir.AddEdge(pre, header)
+	return true
+}
+
+// dedicateTails splits every exit edge whose target has other
+// predecessors, so each exit edge owns its tail block. Reports whether
+// the CFG changed.
+func dedicateTails(f *ir.Function, iv *Interval) bool {
+	changed := false
+	for _, e := range iv.ExitEdges {
+		if len(e.Tail.Preds) > 1 {
+			f.SplitEdge(e.From, e.Tail, -1)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func annotatePreheaders(f *ir.Function, forest *Forest) {
+	dom := BuildDomTree(f)
+	forest.Root.Walk(func(iv *Interval) {
+		switch {
+		case iv.Root:
+			iv.Preheader = f.Entry()
+		case iv.Proper():
+			for _, p := range iv.Header.Preds {
+				if !iv.Contains(p) {
+					iv.Preheader = p
+					break
+				}
+			}
+		default:
+			pre := dom.LeastCommonDominator(iv.Entries)
+			for pre != nil && iv.Contains(pre) {
+				next := dom.Idom(pre)
+				if next == pre {
+					break
+				}
+				pre = next
+			}
+			iv.Preheader = pre
+		}
+	})
+}

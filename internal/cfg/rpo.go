@@ -1,0 +1,64 @@
+// Package cfg provides control-flow-graph analyses over the IR: reverse
+// postorder, dominator trees (Cooper–Harvey–Kennedy), dominance
+// frontiers and iterated dominance frontiers, interval (loop nesting)
+// forests in the sense of the Sastry–Ju register promotion paper, and
+// the CFG normalizations that paper assumes: no critical entry or exit
+// edges, a dedicated preheader per interval, and a dedicated tail block
+// per interval exit edge.
+package cfg
+
+import "repro/internal/ir"
+
+// ReversePostorder returns the blocks of f reachable from the entry in
+// reverse postorder of a depth-first search. Unreachable blocks are
+// omitted.
+func ReversePostorder(f *ir.Function) []*ir.Block {
+	seen := make(map[*ir.Block]bool, len(f.Blocks))
+	post := make([]*ir.Block, 0, len(f.Blocks))
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry())
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// RemoveUnreachable deletes blocks not reachable from the entry,
+// unlinking their edges (and trimming phi arguments in reachable
+// successors).
+func RemoveUnreachable(f *ir.Function) int {
+	reach := make(map[*ir.Block]bool, len(f.Blocks))
+	for _, b := range ReversePostorder(f) {
+		reach[b] = true
+	}
+	removed := 0
+	for _, b := range f.Blocks {
+		if reach[b] {
+			continue
+		}
+		for _, s := range b.Succs {
+			if reach[s] {
+				s.RemovePred(b)
+			}
+		}
+	}
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		} else {
+			removed++
+		}
+	}
+	f.Blocks = kept
+	return removed
+}

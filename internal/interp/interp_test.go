@@ -1,0 +1,309 @@
+package interp
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/cfg"
+	"repro/internal/source"
+	"repro/internal/ssa"
+)
+
+func run(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	prog, err := source.Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := alias.Analyze(prog); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	res, err := Run(prog, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func wantOutput(t *testing.T, src string, want []int64) *Result {
+	t.Helper()
+	res := run(t, src, Options{})
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Fatalf("output = %v, want %v", res.Output, want)
+	}
+	return res
+}
+
+func TestArithmetic(t *testing.T) {
+	wantOutput(t, `
+void main() {
+	print(2 + 3 * 4);
+	print((2 + 3) * 4);
+	print(10 / 3);
+	print(10 % 3);
+	print(-7);
+	print(1 << 5);
+	print(64 >> 2);
+	print(6 & 3);
+	print(6 | 3);
+	print(6 ^ 3);
+	print(~0);
+	print(!5);
+	print(!0);
+}`, []int64{14, 20, 3, 1, -7, 32, 16, 2, 7, 5, -1, 0, 1})
+}
+
+func TestComparisonsAndShortCircuit(t *testing.T) {
+	wantOutput(t, `
+int calls;
+int effect(int v) { calls++; return v; }
+void main() {
+	print(3 < 5);
+	print(5 <= 4);
+	print(4 == 4);
+	print(4 != 4);
+	calls = 0;
+	print(effect(0) && effect(1));
+	print(calls);
+	calls = 0;
+	print(effect(2) || effect(3));
+	print(calls);
+}`, []int64{1, 0, 1, 0, 0, 1, 1, 1})
+}
+
+func TestLoopsAndGlobals(t *testing.T) {
+	res := wantOutput(t, `
+int x;
+void main() {
+	int i;
+	for (i = 0; i < 100; i++) x++;
+	print(x);
+}`, []int64{100})
+	// Each iteration loads and stores x (plus the final print load):
+	// the dynamic costs the paper's Table 2 measures.
+	if res.DynLoads() < 100 || res.DynStores() < 100 {
+		t.Errorf("dyn loads/stores = %d/%d, want >= 100 each", res.DynLoads(), res.DynStores())
+	}
+}
+
+func TestWhileDoWhileBreakContinue(t *testing.T) {
+	wantOutput(t, `
+void main() {
+	int s = 0;
+	int i = 0;
+	while (i < 10) { s += i; i++; }
+	print(s);
+	do { s--; } while (s > 40);
+	print(s);
+	for (i = 0; i < 100; i++) {
+		if (i % 2 == 0) continue;
+		if (i > 10) break;
+		s += i;
+	}
+	print(s);
+}`, []int64{45, 40, 40 + 1 + 3 + 5 + 7 + 9})
+}
+
+func TestRecursion(t *testing.T) {
+	wantOutput(t, `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+void main() { print(fib(15)); }`, []int64{610})
+}
+
+func TestPointersAndSlots(t *testing.T) {
+	wantOutput(t, `
+int g = 7;
+void bump(int* p) { *p = *p + 1; }
+void main() {
+	int a = 10;
+	bump(&a);
+	bump(&g);
+	print(a);
+	print(g);
+	int* q = &a;
+	*q = *q * 2;
+	print(a);
+}`, []int64{11, 8, 22})
+}
+
+func TestArraysAndStructs(t *testing.T) {
+	wantOutput(t, `
+struct pair { int lo; int hi; };
+struct pair acc;
+int tab[10];
+void main() {
+	int i;
+	for (i = 0; i < 10; i++) tab[i] = i * i;
+	for (i = 0; i < 10; i++) {
+		if (tab[i] < 25) { acc.lo += tab[i]; } else { acc.hi += tab[i]; }
+	}
+	print(acc.lo);
+	print(acc.hi);
+}`, []int64{0 + 1 + 4 + 9 + 16, 25 + 36 + 49 + 64 + 81})
+}
+
+func TestGlobalInitAndFinalImage(t *testing.T) {
+	res := run(t, `
+int a = 5;
+int b;
+int arr[3];
+void main() {
+	b = a * 2;
+	arr[1] = 42;
+}`, Options{})
+	if got := res.Globals["a"]; got[0] != 5 {
+		t.Errorf("a = %v, want 5", got)
+	}
+	if got := res.Globals["b"]; got[0] != 10 {
+		t.Errorf("b = %v, want 10", got)
+	}
+	if got := res.Globals["arr"]; !reflect.DeepEqual(got, []int64{0, 42, 0}) {
+		t.Errorf("arr = %v, want [0 42 0]", got)
+	}
+}
+
+func TestLocalSlotsZeroedPerActivation(t *testing.T) {
+	// Each call to leak() re-zeroes its address-taken local, so both
+	// calls print 1 — and recursion gets distinct slot instances.
+	wantOutput(t, `
+int probe(int* p, int depth) {
+	*p = *p + 1;
+	if (depth > 0) {
+		int inner = 0;
+		probe(&inner, depth - 1);
+		print(inner);
+	}
+	return *p;
+}
+void main() {
+	int a = 0;
+	print(probe(&a, 2));
+	print(a);
+}`, []int64{1, 1, 1, 1})
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := map[string]string{
+		"div by zero": `void main() { int z = 0; print(1 / z); }`,
+		"mod by zero": `void main() { int z = 0; print(1 % z); }`,
+		"null deref":  `void main() { int* p = 0; print(*p); }`,
+		"oob index":   `int a[4]; void main() { int i = 9; a[i] = 1; }`,
+		"neg index":   `int a[4]; void main() { int i = -1; print(a[i]); }`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			prog, err := source.Compile(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := alias.Analyze(prog); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Run(prog, Options{}); err == nil {
+				t.Fatal("run succeeded, want runtime error")
+			}
+		})
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	prog, err := source.Compile(`void main() { while (1) {} }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alias.Analyze(prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, Options{MaxSteps: 1000}); err == nil {
+		t.Fatal("infinite loop terminated without error")
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	prog, err := source.Compile(`
+int f(int n) { return f(n + 1); }
+void main() { print(f(0)); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alias.Analyze(prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, Options{MaxDepth: 50}); err == nil {
+		t.Fatal("unbounded recursion terminated without error")
+	}
+}
+
+func TestProfileCollection(t *testing.T) {
+	res := run(t, `
+int x;
+void main() {
+	int i;
+	for (i = 0; i < 25; i++) x += i;
+}`, Options{CollectProfile: true})
+	fp := res.Profile.Funcs["main"]
+	if fp == nil {
+		t.Fatal("no profile for main")
+	}
+	// Some block must have run 25 times (the loop body).
+	found := false
+	for _, n := range fp.Block {
+		if n == 25 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no block with frequency 25: %v", fp.Block)
+	}
+	// Edge counts must sum consistently: total block entries - 1 (entry
+	// block has no incoming edge) equals total edge traversals.
+	var blocks, edges float64
+	for _, n := range fp.Block {
+		blocks += n
+	}
+	for _, n := range fp.Edge {
+		edges += n
+	}
+	if blocks-1 != edges {
+		t.Errorf("block entries (%v) - 1 != edge traversals (%v)", blocks, edges)
+	}
+}
+
+func TestInterpretSSAFormDirectly(t *testing.T) {
+	// The interpreter must also execute SSA-form programs (used by
+	// integration tests to check promotion before destruction).
+	prog, err := source.Compile(`
+int x;
+void main() {
+	int i;
+	for (i = 0; i < 10; i++) {
+		if (i % 2 == 0) x += i;
+	}
+	print(x);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alias.Analyze(prog); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range prog.Funcs {
+		if _, err := cfg.Normalize(f); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ssa.Build(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Run(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 2+4+6+8 {
+		t.Errorf("output = %v, want [20]", res.Output)
+	}
+}

@@ -1,0 +1,142 @@
+package interp
+
+import (
+	"testing"
+)
+
+// TestCSemantics pins down the C-like arithmetic corners the language
+// promises: truncating division and remainder, 64-bit wrapping, masked
+// shifts.
+func TestCSemantics(t *testing.T) {
+	wantOutput(t, `
+void main() {
+	print(-7 / 2);
+	print(-7 % 2);
+	print(7 / -2);
+	print(7 % -2);
+	int big = 4611686018427387904; // 2^62
+	print(big * 4);                // wraps to 0
+	print(big + big);              // wraps negative
+	print(1 << 70);                // shift count masked to 6 bits -> 1<<6
+	print(-8 >> 1);                // arithmetic shift
+}`, []int64{-3, -1, -3, 1, 0, -9223372036854775808, 64, -4})
+}
+
+func TestNestedCallsAndEvaluationOrder(t *testing.T) {
+	wantOutput(t, `
+int trace;
+int tag(int v) { trace = trace * 10 + v; return v; }
+int add3(int a, int b, int c) { return a + b + c; }
+void main() {
+	print(add3(tag(1), tag(2), tag(3)));
+	print(trace);
+}`, []int64{6, 123})
+}
+
+func TestGlobalStructAndArrayInterplay(t *testing.T) {
+	wantOutput(t, `
+struct stat { int n; int sum; };
+struct stat s;
+int data[6];
+void record(int v) {
+	data[s.n] = v;
+	s.n = s.n + 1;
+	s.sum = s.sum + v;
+}
+void main() {
+	record(5);
+	record(7);
+	record(11);
+	print(s.n);
+	print(s.sum);
+	print(data[0] + data[1] * data[2]);
+}`, []int64{3, 23, 5 + 7*11})
+}
+
+func TestShadowingScopes(t *testing.T) {
+	wantOutput(t, `
+int x = 100;
+void main() {
+	int x = 1;
+	print(x);
+	{
+		int x = 2;
+		print(x);
+	}
+	print(x);
+	for (int x = 9; x < 10; x++) print(x);
+	print(x);
+}`, []int64{1, 2, 1, 9, 1})
+}
+
+func TestWhileConditionOnPointer(t *testing.T) {
+	wantOutput(t, `
+int a = 3;
+void main() {
+	int* p = &a;
+	int n = 0;
+	while (*p > 0) { a = a - 1; n++; }
+	print(n);
+	print(a);
+	int* q = 0;
+	if (q) { print(111); } else { print(222); }
+}`, []int64{3, 0, 222})
+}
+
+func TestMutualRecursion(t *testing.T) {
+	// Forward references need no prototypes: the checker registers
+	// every function before checking bodies.
+	wantOutput(t, `
+int isEven(int n) {
+	if (n == 0) return 1;
+	return isOdd(n - 1);
+}
+int isOdd(int n) {
+	if (n == 0) return 0;
+	return isEven(n - 1);
+}
+void main() {
+	print(isEven(10));
+	print(isOdd(10));
+}`, []int64{1, 0})
+}
+
+func TestOpCountsBreakdown(t *testing.T) {
+	res := run(t, `
+int x;
+void main() {
+	x = 1;
+	x = x + 1;
+	print(x);
+}`, Options{})
+	if res.DynStores() != 2 {
+		t.Errorf("stores = %d, want 2", res.DynStores())
+	}
+	if res.DynLoads() != 2 {
+		t.Errorf("loads = %d, want 2", res.DynLoads())
+	}
+	if res.Steps == 0 {
+		t.Error("steps not counted")
+	}
+}
+
+func TestReturnValuePropagates(t *testing.T) {
+	res := run(t, `
+int main() {
+	return 42;
+}`, Options{})
+	if res.ReturnValue != 42 {
+		t.Errorf("return = %d, want 42", res.ReturnValue)
+	}
+}
+
+func TestMaxOutputCaps(t *testing.T) {
+	res := run(t, `
+void main() {
+	int i;
+	for (i = 0; i < 100; i++) print(i);
+}`, Options{MaxOutput: 10})
+	if len(res.Output) != 10 {
+		t.Errorf("output capped at %d, want 10", len(res.Output))
+	}
+}

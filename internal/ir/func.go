@@ -1,0 +1,215 @@
+package ir
+
+import "fmt"
+
+// Function is one procedure: an entry block, a set of basic blocks, a
+// virtual register file, stack slots for address-exposed locals and local
+// aggregates, and a memory resource table filled in by alias analysis and
+// extended by SSA renaming.
+type Function struct {
+	Name   string
+	Params []RegID // parameter registers, defined on entry
+	Blocks []*Block
+	Slots  []*Slot
+	Prog   *Program
+
+	NumRegs   int
+	regNames  []string
+	nextBlock BlockID
+	maxVer    map[ResourceID]int // highest version per base resource
+
+	// Resources is the function's memory resource table, indexed by
+	// ResourceID. Base resources come first (one per location the
+	// function may touch); SSA renaming appends versioned resources.
+	Resources []*Resource
+}
+
+// NewFunction returns an empty function registered in prog.
+func NewFunction(prog *Program, name string) *Function {
+	f := &Function{Name: name, Prog: prog}
+	if prog != nil {
+		prog.AddFunction(f)
+	}
+	return f
+}
+
+// Entry returns the function entry block.
+func (f *Function) Entry() *Block { return f.Blocks[0] }
+
+// NewBlock creates a block with a fresh ID and appends it to the
+// function.
+func (f *Function) NewBlock() *Block {
+	b := &Block{ID: f.nextBlock, Func: f}
+	f.nextBlock++
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// NewReg allocates a fresh virtual register. The name is a debugging
+// hint and may be empty.
+func (f *Function) NewReg(name string) RegID {
+	r := RegID(f.NumRegs)
+	f.NumRegs++
+	f.regNames = append(f.regNames, name)
+	return r
+}
+
+// RegName returns the debugging name hint of r, or "".
+func (f *Function) RegName(r RegID) string {
+	if int(r) < len(f.regNames) {
+		return f.regNames[r]
+	}
+	return ""
+}
+
+// NewSlot creates a stack slot for an address-exposed local or local
+// aggregate.
+func (f *Function) NewSlot(name string, size int, isArray bool, fields []string) *Slot {
+	s := &Slot{Name: name, Size: size, IsArray: isArray, FieldNames: fields}
+	f.Slots = append(f.Slots, s)
+	return s
+}
+
+// AddResource appends a base resource for the given location and returns
+// it. Alias analysis uses this to seed the resource table.
+func (f *Function) AddResource(name string, kind ResourceKind, loc MemLoc) *Resource {
+	r := &Resource{
+		ID:   ResourceID(len(f.Resources)),
+		Name: name,
+		Kind: kind,
+		Loc:  loc,
+	}
+	r.Orig = r.ID
+	f.Resources = append(f.Resources, r)
+	return r
+}
+
+// NewVersion appends a fresh SSA version of the base resource orig and
+// returns it. The version number is one greater than the highest existing
+// version of that base.
+func (f *Function) NewVersion(orig ResourceID) *Resource {
+	base := f.Resources[orig]
+	if !base.IsBase() {
+		base = f.Resources[base.Orig]
+	}
+	if f.maxVer == nil {
+		f.maxVer = make(map[ResourceID]int)
+	}
+	ver, ok := f.maxVer[base.ID]
+	if !ok {
+		for _, r := range f.Resources {
+			if r.Orig == base.ID && r.Version > ver {
+				ver = r.Version
+			}
+		}
+	}
+	nr := &Resource{
+		ID:      ResourceID(len(f.Resources)),
+		Name:    base.Name,
+		Kind:    base.Kind,
+		Orig:    base.ID,
+		Version: ver + 1,
+		Loc:     base.Loc,
+	}
+	f.maxVer[base.ID] = ver + 1
+	f.Resources = append(f.Resources, nr)
+	return nr
+}
+
+// Res returns the resource with the given ID.
+func (f *Function) Res(id ResourceID) *Resource {
+	return f.Resources[id]
+}
+
+// BaseOf returns the base resource of the given (possibly versioned)
+// resource ID.
+func (f *Function) BaseOf(id ResourceID) *Resource {
+	return f.Resources[f.Resources[id].Orig]
+}
+
+// FindSlot returns the slot with the given name, or nil.
+func (f *Function) FindSlot(name string) *Slot {
+	for _, s := range f.Slots {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// RemoveBlock deletes b from the function's block list. The caller must
+// have already unlinked its edges.
+func (f *Function) RemoveBlock(b *Block) {
+	for i, x := range f.Blocks {
+		if x == b {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("ir: block %v not in function %s", b, f.Name))
+}
+
+// SplitEdge inserts a new block on the edge from -> to and returns it.
+// The new block ends in a jump to to. Positional phi arguments in to are
+// preserved because the new block replaces from at the same predecessor
+// index. If the edge appears multiple times (a conditional branch with
+// identical targets) only the occurrence at the given successor index is
+// split; pass -1 to split the first occurrence.
+func (f *Function) SplitEdge(from, to *Block, succIdx int) *Block {
+	if succIdx < 0 {
+		succIdx = from.SuccIndex(to)
+	}
+	if succIdx < 0 || from.Succs[succIdx] != to {
+		panic(fmt.Sprintf("ir: no edge %v -> %v at index %d", from, to, succIdx))
+	}
+	mid := f.NewBlock()
+	mid.Append(NewInstr(OpJmp, NoReg))
+	from.Succs[succIdx] = mid
+	mid.Preds = []*Block{from}
+	mid.Succs = []*Block{to}
+	to.ReplacePred(from, mid)
+	return mid
+}
+
+// Program is a whole compilation unit: an ordered set of functions plus
+// the global memory objects they share.
+type Program struct {
+	Funcs   []*Function
+	Globals []*Global
+
+	funcsByName map[string]*Function
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{funcsByName: make(map[string]*Function)}
+}
+
+// AddFunction registers f in the program.
+func (p *Program) AddFunction(f *Function) {
+	f.Prog = p
+	p.Funcs = append(p.Funcs, f)
+	p.funcsByName[f.Name] = f
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *Function {
+	return p.funcsByName[name]
+}
+
+// AddGlobal registers a global object and returns it.
+func (p *Program) AddGlobal(name string, size int, isArray bool, fields []string) *Global {
+	g := &Global{Name: name, Size: size, IsArray: isArray, FieldNames: fields}
+	p.Globals = append(p.Globals, g)
+	return g
+}
+
+// FindGlobal returns the global with the given name, or nil.
+func (p *Program) FindGlobal(name string) *Global {
+	for _, g := range p.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}

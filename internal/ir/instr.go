@@ -1,0 +1,116 @@
+package ir
+
+// Instr is one IR instruction. The meaning of the fields depends on Op;
+// see the opcode documentation. Parent is maintained by the Block
+// insertion and removal helpers.
+type Instr struct {
+	Op     Op
+	Dst    RegID   // defined register, or NoReg
+	Args   []Value // register/constant operands
+	Callee string  // OpCall: target function name
+	Loc    MemLoc  // OpLoad/OpStore/OpAddr/OpLoadIdx/OpStoreIdx: the cell
+
+	// MemDefs and MemUses list the singleton resource versions this
+	// instruction defines and uses. Direct scalar loads and stores carry
+	// exactly one non-aliased entry; calls, pointer accesses, and array
+	// accesses carry one aliased entry per resource they may touch. For
+	// OpMemPhi, MemDefs[0] is the target and MemUses are positional with
+	// the block's predecessors.
+	MemDefs []MemRef
+	MemUses []MemRef
+
+	Parent *Block
+}
+
+// NewInstr returns an instruction with the given opcode, destination, and
+// operands, not yet attached to a block.
+func NewInstr(op Op, dst RegID, args ...Value) *Instr {
+	return &Instr{Op: op, Dst: dst, Args: args}
+}
+
+// HasDst reports whether the instruction defines a register.
+func (in *Instr) HasDst() bool { return in.Dst != NoReg }
+
+// UseRegs appends the registers read by the instruction to buf and
+// returns it. Phi arguments are included.
+func (in *Instr) UseRegs(buf []RegID) []RegID {
+	for _, a := range in.Args {
+		if !a.IsConst() {
+			buf = append(buf, a.Reg())
+		}
+	}
+	return buf
+}
+
+// ReplaceUseReg rewrites register operands reading from into value to.
+func (in *Instr) ReplaceUseReg(from RegID, to Value) bool {
+	changed := false
+	for i, a := range in.Args {
+		if a.IsReg(from) {
+			in.Args[i] = to
+			changed = true
+		}
+	}
+	return changed
+}
+
+// IsDirectLoad reports whether the instruction is a scalar load (a
+// singleton, non-aliased load in the paper's terminology).
+func (in *Instr) IsDirectLoad() bool { return in.Op == OpLoad }
+
+// IsDirectStore reports whether the instruction is a scalar store (a
+// singleton, non-aliased store).
+func (in *Instr) IsDirectStore() bool { return in.Op == OpStore }
+
+// UsesResource reports whether the instruction's MemUses mention the
+// given resource version.
+func (in *Instr) UsesResource(r ResourceID) bool {
+	for _, u := range in.MemUses {
+		if u.Res == r {
+			return true
+		}
+	}
+	return false
+}
+
+// DefsResource reports whether the instruction's MemDefs mention the
+// given resource version.
+func (in *Instr) DefsResource(r ResourceID) bool {
+	for _, d := range in.MemDefs {
+		if d.Res == r {
+			return true
+		}
+	}
+	return false
+}
+
+// MemDefOf returns a pointer to the MemDefs entry for resource r, or nil.
+func (in *Instr) MemDefOf(r ResourceID) *MemRef {
+	for i := range in.MemDefs {
+		if in.MemDefs[i].Res == r {
+			return &in.MemDefs[i]
+		}
+	}
+	return nil
+}
+
+// MemUseOf returns a pointer to the MemUses entry for resource r, or nil.
+func (in *Instr) MemUseOf(r ResourceID) *MemRef {
+	for i := range in.MemUses {
+		if in.MemUses[i].Res == r {
+			return &in.MemUses[i]
+		}
+	}
+	return nil
+}
+
+// IsAliasedMemOp reports whether the instruction is an aliased load or
+// aliased store in the paper's sense: a call, pointer access, or array
+// access that may touch scalar resources indirectly.
+func (in *Instr) IsAliasedMemOp() bool {
+	switch in.Op {
+	case OpCall, OpLoadPtr, OpStorePtr, OpLoadIdx, OpStoreIdx:
+		return true
+	}
+	return false
+}

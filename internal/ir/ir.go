@@ -1,0 +1,29 @@
+// Package ir defines the intermediate representation used throughout this
+// repository: a conventional three-address, control-flow-graph IR in which
+// memory is modeled with explicit memory resources, as described in
+// "A New Algorithm for Scalar Register Promotion Based on SSA Form"
+// (Sastry and Ju, PLDI 1998).
+//
+// The representation has two value spaces:
+//
+//   - Virtual registers (RegID) hold scalar values. After SSA construction
+//     every register has exactly one definition, and Phi instructions join
+//     values at control-flow confluence points.
+//
+//   - Memory resources (ResourceID) name memory locations. A singleton
+//     resource represents one scalar memory cell (a global scalar, an
+//     address-exposed local scalar, or a scalar component of a struct).
+//     Array objects get a single non-promotable resource. Aggregate
+//     effects (function calls, pointer loads and stores, array accesses)
+//     are expanded into sets of aliased singleton references on each
+//     instruction (the MemDefs and MemUses lists), which is the form the
+//     promotion algorithm consumes. Memory resources are themselves put
+//     into SSA form: renaming creates versioned resources whose Orig field
+//     points back at the base resource, and MemPhi instructions join
+//     memory versions exactly like Phi joins registers.
+//
+// Instructions live in basic blocks; blocks form a CFG with explicit
+// predecessor and successor lists. Phi and MemPhi arguments are positional
+// with respect to the block's predecessor list: argument i flows in from
+// Preds[i].
+package ir

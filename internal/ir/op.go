@@ -1,0 +1,171 @@
+package ir
+
+// Op enumerates the instruction opcodes of the IR.
+type Op uint8
+
+// Instruction opcodes. Arithmetic and comparison operations read register
+// or constant operands and define one register. Memory operations carry
+// MemDefs/MemUses lists naming the singleton resources they touch.
+const (
+	OpInvalid Op = iota
+
+	// Arithmetic: Dst = Args[0] op Args[1] (Neg/Not are unary).
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpNeg
+	OpNot
+
+	// Comparisons: Dst = Args[0] cmp Args[1], producing 0 or 1.
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+
+	// OpCopy: Dst = Args[0].
+	OpCopy
+
+	// OpPhi joins register values at a confluence point:
+	// Dst = phi(Args[0]:Preds[0], ..., Args[n-1]:Preds[n-1]).
+	OpPhi
+
+	// OpMemPhi joins memory resource versions at a confluence point:
+	// MemDefs[0] = memphi(MemUses[0]:Preds[0], ...). It generates no code;
+	// it exists to give memory locations SSA structure.
+	OpMemPhi
+
+	// OpLoad: Dst = load of the scalar cell Loc. MemUses[0] names the
+	// singleton resource version read (a direct, non-aliased use).
+	OpLoad
+
+	// OpStore: store Args[0] to the scalar cell Loc. MemDefs[0] names the
+	// singleton resource version defined (a direct, non-aliased def).
+	OpStore
+
+	// OpAddr: Dst = address of cell Loc (base + constant Offset).
+	// Taking an address makes the underlying object address-exposed.
+	OpAddr
+
+	// OpLoadPtr: Dst = *Args[0]. An aliased load: MemUses lists a version
+	// of every resource the pointer may reference, each marked Aliased.
+	OpLoadPtr
+
+	// OpStorePtr: *Args[0] = Args[1]. An aliased store: MemDefs lists a
+	// version of every resource the pointer may reference, each marked
+	// Aliased. MemUses carries the corresponding prior versions.
+	OpStorePtr
+
+	// OpLoadIdx: Dst = Loc[Args[0]], an array element read. Uses the
+	// array's resource as an aliased reference.
+	OpLoadIdx
+
+	// OpStoreIdx: Loc[Args[0]] = Args[1], an array element write. Defines
+	// the array's resource as an aliased reference.
+	OpStoreIdx
+
+	// OpCall: Dst = Callee(Args...). An aliased load and aliased store of
+	// every global resource and every escaped address-exposed local, per
+	// the paper's conservative call model: MemUses and MemDefs list those
+	// resources with Aliased set.
+	OpCall
+
+	// OpPrint writes Args[0] to the program's output stream. It has no
+	// memory effect; it exists so tests and examples can observe values
+	// without perturbing promotion.
+	OpPrint
+
+	// OpDummyLoad is the paper's "dummy aliased load": a no-op at run
+	// time whose aliased MemUses mark, for the enclosing interval's
+	// promotion pass, that the referenced resource's value must be
+	// valid in memory at this point. Register promotion inserts dummy
+	// loads in interval preheaders after processing an inner interval
+	// and deletes every dummy when the whole function is done.
+	OpDummyLoad
+
+	// Terminators.
+	OpJmp // unconditional jump to Succs[0]
+	OpBr  // branch: if Args[0] != 0 go to Succs[0] else Succs[1]
+	OpRet // return Args[0] if present, else void
+)
+
+var opNames = [...]string{
+	OpInvalid:   "invalid",
+	OpAdd:       "add",
+	OpSub:       "sub",
+	OpMul:       "mul",
+	OpDiv:       "div",
+	OpRem:       "rem",
+	OpAnd:       "and",
+	OpOr:        "or",
+	OpXor:       "xor",
+	OpShl:       "shl",
+	OpShr:       "shr",
+	OpNeg:       "neg",
+	OpNot:       "not",
+	OpEq:        "eq",
+	OpNe:        "ne",
+	OpLt:        "lt",
+	OpLe:        "le",
+	OpGt:        "gt",
+	OpGe:        "ge",
+	OpCopy:      "copy",
+	OpPhi:       "phi",
+	OpMemPhi:    "memphi",
+	OpLoad:      "load",
+	OpStore:     "store",
+	OpAddr:      "addr",
+	OpLoadPtr:   "loadptr",
+	OpStorePtr:  "storeptr",
+	OpLoadIdx:   "loadidx",
+	OpStoreIdx:  "storeidx",
+	OpCall:      "call",
+	OpPrint:     "print",
+	OpDummyLoad: "dummyload",
+	OpJmp:       "jmp",
+	OpBr:        "br",
+	OpRet:       "ret",
+}
+
+// String returns the lower-case mnemonic of the opcode.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return "op?"
+}
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (op Op) IsTerminator() bool {
+	return op == OpJmp || op == OpBr || op == OpRet
+}
+
+// IsPhi reports whether the opcode is a register or memory phi.
+func (op Op) IsPhi() bool { return op == OpPhi || op == OpMemPhi }
+
+// IsBinary reports whether the opcode is a two-operand arithmetic or
+// comparison operation.
+func (op Op) IsBinary() bool { return op >= OpAdd && op <= OpGe && op != OpNeg && op != OpNot }
+
+// IsCompare reports whether the opcode is a comparison.
+func (op Op) IsCompare() bool { return op >= OpEq && op <= OpGe }
+
+// HasSideEffects reports whether the instruction must be preserved even if
+// its register result is unused: stores, calls, prints, and terminators.
+// Dummy aliased loads are included so cleanup passes cannot remove them
+// before the promotion driver does.
+func (op Op) HasSideEffects() bool {
+	switch op {
+	case OpStore, OpStorePtr, OpStoreIdx, OpCall, OpPrint, OpDummyLoad, OpJmp, OpBr, OpRet:
+		return true
+	}
+	return false
+}

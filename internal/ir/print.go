@@ -1,0 +1,174 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the instruction in the textual IR syntax used by the
+// printer and by golden tests.
+func (in *Instr) String() string {
+	var sb strings.Builder
+	f := func(format string, args ...any) { fmt.Fprintf(&sb, format, args...) }
+
+	resName := func(id ResourceID) string {
+		if in.Parent != nil && in.Parent.Func != nil && int(id) < len(in.Parent.Func.Resources) {
+			return in.Parent.Func.Resources[id].String()
+		}
+		return fmt.Sprintf("res%d", id)
+	}
+
+	switch in.Op {
+	case OpPhi:
+		f("r%d = phi", in.Dst)
+		for i, a := range in.Args {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			lbl := "?"
+			if in.Parent != nil && i < len(in.Parent.Preds) {
+				lbl = in.Parent.Preds[i].String()
+			}
+			f(" [%s: %s]", lbl, a)
+		}
+	case OpMemPhi:
+		f("%s = memphi", resName(in.MemDefs[0].Res))
+		for i, u := range in.MemUses {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			lbl := "?"
+			if in.Parent != nil && i < len(in.Parent.Preds) {
+				lbl = in.Parent.Preds[i].String()
+			}
+			f(" [%s: %s]", lbl, resName(u.Res))
+		}
+	case OpLoad:
+		f("r%d = load %s", in.Dst, in.Loc)
+		if len(in.MemUses) > 0 {
+			f(" {%s}", resName(in.MemUses[0].Res))
+		}
+	case OpStore:
+		f("store %s = %s", in.Loc, in.Args[0])
+		if len(in.MemDefs) > 0 {
+			f(" {%s}", resName(in.MemDefs[0].Res))
+		}
+	case OpAddr:
+		f("r%d = addr %s", in.Dst, in.Loc)
+	case OpLoadPtr:
+		f("r%d = loadptr %s", in.Dst, in.Args[0])
+		sb.WriteString(memRefList(" mu", in.MemUses, resName))
+	case OpStorePtr:
+		f("storeptr %s = %s", in.Args[0], in.Args[1])
+		sb.WriteString(memRefList(" chi", in.MemDefs, resName))
+	case OpLoadIdx:
+		f("r%d = loadidx %s[%s]", in.Dst, in.Loc, in.Args[0])
+		sb.WriteString(memRefList(" mu", in.MemUses, resName))
+	case OpStoreIdx:
+		f("storeidx %s[%s] = %s", in.Loc, in.Args[0], in.Args[1])
+		sb.WriteString(memRefList(" chi", in.MemDefs, resName))
+	case OpCall:
+		if in.HasDst() {
+			f("r%d = ", in.Dst)
+		}
+		f("call %s(", in.Callee)
+		for i, a := range in.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.String())
+		}
+		sb.WriteString(")")
+		sb.WriteString(memRefList(" mu", in.MemUses, resName))
+		sb.WriteString(memRefList(" chi", in.MemDefs, resName))
+	case OpPrint:
+		f("print %s", in.Args[0])
+	case OpDummyLoad:
+		sb.WriteString("dummyload")
+		sb.WriteString(memRefList(" mu", in.MemUses, resName))
+	case OpCopy:
+		f("r%d = copy %s", in.Dst, in.Args[0])
+	case OpJmp:
+		lbl := "?"
+		if in.Parent != nil && len(in.Parent.Succs) > 0 {
+			lbl = in.Parent.Succs[0].String()
+		}
+		f("jmp %s", lbl)
+	case OpBr:
+		t, e := "?", "?"
+		if in.Parent != nil && len(in.Parent.Succs) == 2 {
+			t, e = in.Parent.Succs[0].String(), in.Parent.Succs[1].String()
+		}
+		f("br %s, %s, %s", in.Args[0], t, e)
+	case OpRet:
+		sb.WriteString("ret")
+		if len(in.Args) > 0 {
+			f(" %s", in.Args[0])
+		}
+	case OpNeg, OpNot:
+		f("r%d = %s %s", in.Dst, in.Op, in.Args[0])
+	default:
+		f("r%d = %s %s, %s", in.Dst, in.Op, in.Args[0], in.Args[1])
+	}
+	return sb.String()
+}
+
+func memRefList(tag string, refs []MemRef, name func(ResourceID) string) string {
+	if len(refs) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString(tag)
+	sb.WriteString("{")
+	for i, r := range refs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(name(r.Res))
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// String renders the whole function.
+func (f *Function) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "r%d", p)
+	}
+	sb.WriteString(") {\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:", b)
+		if len(b.Preds) > 0 {
+			sb.WriteString(" ; preds:")
+			for i, p := range b.Preds {
+				if i > 0 {
+					sb.WriteString(",")
+				}
+				fmt.Fprintf(&sb, " %s", p)
+			}
+		}
+		sb.WriteString("\n")
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String renders every function in the program.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, g := range p.Globals {
+		fmt.Fprintf(&sb, "global %s [%d]\n", g.Name, g.Size)
+	}
+	for _, f := range p.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}

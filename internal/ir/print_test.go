@@ -1,0 +1,162 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrinterGoldenPerOp builds one instruction per opcode and checks
+// the printed form, pinning the textual IR syntax that debugging and
+// documentation rely on.
+func TestPrinterGoldenPerOp(t *testing.T) {
+	p := NewProgram()
+	g := p.AddGlobal("x", 1, false, nil)
+	arr := p.AddGlobal("a", 4, true, nil)
+	f := NewFunction(p, "golden")
+	res := f.AddResource("x", ResScalar, GlobalLoc(g, 0))
+	arrRes := f.AddResource("a", ResArray, GlobalLoc(arr, 0))
+	b := f.NewBlock()
+	b2 := f.NewBlock()
+	AddEdge(b, b2)
+	b2.Append(NewInstr(OpRet, NoReg))
+
+	mk := func(op Op, dst RegID, args ...Value) *Instr {
+		in := NewInstr(op, dst, args...)
+		in.Parent = b
+		return in
+	}
+
+	cases := []struct {
+		in   *Instr
+		want string
+	}{
+		{mk(OpAdd, 3, RegVal(1), ConstVal(2)), "r3 = add r1, #2"},
+		{mk(OpSub, 3, RegVal(1), RegVal(2)), "r3 = sub r1, r2"},
+		{mk(OpNeg, 4, RegVal(1)), "r4 = neg r1"},
+		{mk(OpNot, 4, ConstVal(0)), "r4 = not #0"},
+		{mk(OpEq, 5, RegVal(1), ConstVal(9)), "r5 = eq r1, #9"},
+		{mk(OpCopy, 6, RegVal(2)), "r6 = copy r2"},
+		{mk(OpPrint, NoReg, RegVal(7)), "print r7"},
+		{mk(OpAddr, 8, ConstVal(0)), "r8 = addr <none>"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%s: printed %q, want %q", c.in.Op, got, c.want)
+		}
+	}
+
+	ld := mk(OpLoad, 9)
+	ld.Loc = GlobalLoc(g, 0)
+	ld.MemUses = []MemRef{{Res: res.ID}}
+	if got := ld.String(); got != "r9 = load x {x.0}" {
+		t.Errorf("load printed %q", got)
+	}
+
+	st := mk(OpStore, NoReg, ConstVal(5))
+	st.Loc = GlobalLoc(g, 0)
+	st.MemDefs = []MemRef{{Res: res.ID}}
+	if got := st.String(); got != "store x = #5 {x.0}" {
+		t.Errorf("store printed %q", got)
+	}
+
+	li := mk(OpLoadIdx, 10, RegVal(2))
+	li.Loc = GlobalLoc(arr, 0)
+	li.MemUses = []MemRef{{Res: arrRes.ID, Aliased: true}}
+	if got := li.String(); !strings.Contains(got, "loadidx a[r2]") || !strings.Contains(got, "mu{a.0}") {
+		t.Errorf("loadidx printed %q", got)
+	}
+
+	call := mk(OpCall, 11, RegVal(1))
+	call.Callee = "foo"
+	call.MemUses = []MemRef{{Res: res.ID, Aliased: true}}
+	call.MemDefs = []MemRef{{Res: res.ID, Aliased: true}}
+	if got := call.String(); !strings.Contains(got, "r11 = call foo(r1)") ||
+		!strings.Contains(got, "mu{x.0}") || !strings.Contains(got, "chi{x.0}") {
+		t.Errorf("call printed %q", got)
+	}
+
+	dummy := mk(OpDummyLoad, NoReg)
+	dummy.MemUses = []MemRef{{Res: res.ID, Aliased: true}}
+	if got := dummy.String(); got != "dummyload mu{x.0}" {
+		t.Errorf("dummyload printed %q", got)
+	}
+
+	lp := mk(OpLoadPtr, 12, RegVal(3))
+	lp.MemUses = []MemRef{{Res: res.ID, Aliased: true}}
+	if got := lp.String(); got != "r12 = loadptr r3 mu{x.0}" {
+		t.Errorf("loadptr printed %q", got)
+	}
+
+	sp := mk(OpStorePtr, NoReg, RegVal(3), ConstVal(7))
+	sp.MemDefs = []MemRef{{Res: res.ID, Aliased: true}}
+	if got := sp.String(); got != "storeptr r3 = #7 chi{x.0}" {
+		t.Errorf("storeptr printed %q", got)
+	}
+
+	// Terminators render their targets from block context.
+	jmp := b.Append(NewInstr(OpJmp, NoReg))
+	if got := jmp.String(); got != "jmp b1" {
+		t.Errorf("jmp printed %q", got)
+	}
+
+	// Phis render predecessor labels.
+	p2 := NewProgram()
+	f2 := NewFunction(p2, "phis")
+	a0, a1, join := f2.NewBlock(), f2.NewBlock(), f2.NewBlock()
+	AddEdge(a0, join)
+	AddEdge(a1, join)
+	phi := NewInstr(OpPhi, 5, ConstVal(1), RegVal(2))
+	join.InsertPhi(phi)
+	if got := phi.String(); got != "r5 = phi [b0: #1], [b1: r2]" {
+		t.Errorf("phi printed %q", got)
+	}
+}
+
+func TestProgramPrintIncludesGlobals(t *testing.T) {
+	p := NewProgram()
+	p.AddGlobal("g", 1, false, nil)
+	p.AddGlobal("buf", 16, true, nil)
+	f := NewFunction(p, "main")
+	b := f.NewBlock()
+	b.Append(NewInstr(OpRet, NoReg))
+	out := p.String()
+	for _, want := range []string{"global g [1]", "global buf [16]", "func main() {"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("program print missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCellNames(t *testing.T) {
+	g := &Global{Name: "s", Size: 2, FieldNames: []string{"a", "b"}}
+	if g.CellName(1) != "s.b" {
+		t.Errorf("CellName = %q", g.CellName(1))
+	}
+	arr := &Global{Name: "v", Size: 3}
+	if arr.CellName(2) != "v[2]" {
+		t.Errorf("CellName = %q", arr.CellName(2))
+	}
+	scalar := &Global{Name: "x", Size: 1}
+	if scalar.CellName(0) != "x" {
+		t.Errorf("CellName = %q", scalar.CellName(0))
+	}
+	s := &Slot{Name: "t", Size: 2, FieldNames: []string{"lo", "hi"}}
+	if s.CellName(0) != "t.lo" {
+		t.Errorf("slot CellName = %q", s.CellName(0))
+	}
+}
+
+func TestMemLocHelpers(t *testing.T) {
+	g := &Global{Name: "x", Size: 4}
+	l := GlobalLoc(g, 2)
+	if l.Object() != "x" || l.Size() != 4 || l.String() != "x+2" {
+		t.Errorf("loc = %v/%v/%v", l.Object(), l.Size(), l.String())
+	}
+	if !l.SameCell(GlobalLoc(g, 2)) || l.SameCell(GlobalLoc(g, 1)) {
+		t.Error("SameCell broken")
+	}
+	var none MemLoc
+	if none.String() != "<none>" || none.Object() != "<none>" || none.Size() != 0 {
+		t.Errorf("zero loc misprints: %v", none)
+	}
+}

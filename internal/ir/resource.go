@@ -1,0 +1,174 @@
+package ir
+
+import "fmt"
+
+// ResourceID indexes a function's resource table.
+type ResourceID int32
+
+// NoResource marks an absent resource reference.
+const NoResource ResourceID = -1
+
+// ResourceKind classifies memory resources.
+type ResourceKind uint8
+
+const (
+	// ResScalar is a singleton resource: one promotable scalar memory
+	// cell (global scalar, address-exposed local scalar, or scalar
+	// struct component).
+	ResScalar ResourceKind = iota
+	// ResArray is the resource of a whole array object. Array resources
+	// are never promoted; array accesses reference them as aliased.
+	ResArray
+)
+
+// Resource is a memory resource in a function's resource table. Base
+// resources (Version 0, Orig == ID) are created by alias analysis, one
+// per memory location the function may touch. SSA renaming creates
+// versioned resources that share the base's Loc and point back at it
+// through Orig, mirroring the paper's rule that "we keep track of the
+// original name of every newly created singleton".
+type Resource struct {
+	ID      ResourceID
+	Name    string // base name, e.g. "x" or "buf"
+	Kind    ResourceKind
+	Orig    ResourceID // base resource; for a base, Orig == ID
+	Version int        // 0 for base resources
+	Loc     MemLoc     // the memory cell(s) this resource names
+}
+
+// IsBase reports whether r is a base (pre-SSA) resource.
+func (r *Resource) IsBase() bool { return r.Orig == r.ID }
+
+// Promotable reports whether the resource names a single scalar cell and
+// is therefore a candidate for register promotion.
+func (r *Resource) Promotable() bool { return r.Kind == ResScalar }
+
+// String renders the resource as "name.version".
+func (r *Resource) String() string {
+	return fmt.Sprintf("%s.%d", r.Name, r.Version)
+}
+
+// MemRef is one memory reference on an instruction: a use or definition
+// of a singleton resource version. Aliased marks references that arise
+// from aggregate effects (calls, pointer accesses, array accesses) rather
+// than direct scalar loads and stores; the promotion algorithm treats the
+// two very differently.
+type MemRef struct {
+	Res     ResourceID
+	Aliased bool
+}
+
+// LocKind classifies memory locations.
+type LocKind uint8
+
+const (
+	// LocNone marks an instruction with no direct memory cell operand.
+	LocNone LocKind = iota
+	// LocGlobal is a cell inside a program global.
+	LocGlobal
+	// LocSlot is a cell inside a function stack slot.
+	LocSlot
+)
+
+// MemLoc identifies a memory cell (or, for arrays, the base of a cell
+// sequence): a global or stack slot plus a constant cell offset. Struct
+// fields are flattened to constant offsets.
+type MemLoc struct {
+	Kind   LocKind
+	Global *Global // when Kind == LocGlobal
+	Slot   *Slot   // when Kind == LocSlot
+	Offset int     // constant cell offset within the object
+}
+
+// GlobalLoc returns the location of cell offset within global g.
+func GlobalLoc(g *Global, offset int) MemLoc {
+	return MemLoc{Kind: LocGlobal, Global: g, Offset: offset}
+}
+
+// SlotLoc returns the location of cell offset within stack slot s.
+func SlotLoc(s *Slot, offset int) MemLoc {
+	return MemLoc{Kind: LocSlot, Slot: s, Offset: offset}
+}
+
+// Object returns the name of the object the location refers to.
+func (l MemLoc) Object() string {
+	switch l.Kind {
+	case LocGlobal:
+		return l.Global.Name
+	case LocSlot:
+		return l.Slot.Name
+	}
+	return "<none>"
+}
+
+// Size returns the cell count of the underlying object.
+func (l MemLoc) Size() int {
+	switch l.Kind {
+	case LocGlobal:
+		return l.Global.Size
+	case LocSlot:
+		return l.Slot.Size
+	}
+	return 0
+}
+
+// String renders the location as "object" or "object+offset".
+func (l MemLoc) String() string {
+	if l.Kind == LocNone {
+		return "<none>"
+	}
+	if l.Offset == 0 {
+		return l.Object()
+	}
+	return fmt.Sprintf("%s+%d", l.Object(), l.Offset)
+}
+
+// SameCell reports whether two locations name the same memory cell.
+func (l MemLoc) SameCell(m MemLoc) bool {
+	return l.Kind == m.Kind && l.Global == m.Global && l.Slot == m.Slot && l.Offset == m.Offset
+}
+
+// Global is a program-level memory object: a scalar (Size 1), an array,
+// or a struct flattened into Size scalar cells.
+type Global struct {
+	Name       string
+	Size       int      // number of int64 cells
+	IsArray    bool     // true for arrays (indexed, non-promotable)
+	FieldNames []string // for structs: one name per cell, else nil
+	Init       []int64  // optional initial cell values (zero-filled if short)
+	AddrTaken  bool     // set by alias analysis when any address is taken
+}
+
+// CellName returns a human-readable name of cell offset within g, such as
+// "s.f" for struct fields.
+func (g *Global) CellName(offset int) string {
+	if g.FieldNames != nil && offset < len(g.FieldNames) {
+		return g.Name + "." + g.FieldNames[offset]
+	}
+	if g.Size == 1 {
+		return g.Name
+	}
+	return fmt.Sprintf("%s[%d]", g.Name, offset)
+}
+
+// Slot is a function-level memory object: an address-exposed local
+// scalar, a local array, or a local struct flattened into cells.
+type Slot struct {
+	Name       string
+	Size       int
+	IsArray    bool
+	FieldNames []string
+	AddrTaken  bool
+	Escapes    bool // address observed escaping to a call or to memory
+}
+
+// CellName returns a human-readable name of cell offset within s.
+func (s *Slot) CellName(offset int) string {
+	if s.FieldNames != nil && offset < len(s.FieldNames) {
+		return s.Name + "." + s.FieldNames[offset]
+	}
+	if s.Size == 1 {
+		return s.Name
+	}
+	return fmt.Sprintf("%s[%d]", s.Name, offset)
+}

@@ -1,0 +1,55 @@
+package ir
+
+import "fmt"
+
+// RegID identifies a virtual register within a function. Register numbers
+// are dense: 0 <= RegID < Function.NumRegs.
+type RegID int32
+
+// NoReg marks an absent register (for example, the Dst of a store).
+const NoReg RegID = -1
+
+// Value is an instruction operand: either a constant or a virtual
+// register.
+type Value struct {
+	isConst bool
+	c       int64
+	r       RegID
+}
+
+// ConstVal returns a constant operand.
+func ConstVal(c int64) Value { return Value{isConst: true, c: c} }
+
+// RegVal returns a register operand.
+func RegVal(r RegID) Value { return Value{r: r} }
+
+// IsConst reports whether the value is a constant.
+func (v Value) IsConst() bool { return v.isConst }
+
+// Const returns the constant payload; it panics if the value is a
+// register.
+func (v Value) Const() int64 {
+	if !v.isConst {
+		panic("ir: Const on register value")
+	}
+	return v.c
+}
+
+// Reg returns the register payload; it panics if the value is a constant.
+func (v Value) Reg() RegID {
+	if v.isConst {
+		panic("ir: Reg on constant value")
+	}
+	return v.r
+}
+
+// IsReg reports whether the value is the given register.
+func (v Value) IsReg(r RegID) bool { return !v.isConst && v.r == r }
+
+// String renders the value as "#n" for constants and "rN" for registers.
+func (v Value) String() string {
+	if v.isConst {
+		return fmt.Sprintf("#%d", v.c)
+	}
+	return fmt.Sprintf("r%d", v.r)
+}

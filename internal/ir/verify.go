@@ -1,0 +1,159 @@
+package ir
+
+import "fmt"
+
+// VerifyMode selects how strict Verify is about SSA properties.
+type VerifyMode int
+
+const (
+	// VerifyCFG checks only structural CFG invariants.
+	VerifyCFG VerifyMode = iota
+	// VerifySSA additionally checks the single-assignment property for
+	// registers and memory resources and that definitions dominate uses
+	// is left to callers with a dominator tree; here we check single
+	// definition and phi shape.
+	VerifySSA
+)
+
+// Verify checks structural invariants of the function and returns the
+// first violation found, or nil. It is used liberally in tests and after
+// each transformation pass.
+func (f *Function) Verify(mode VerifyMode) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("%s: function has no blocks", f.Name)
+	}
+	if len(f.Entry().Preds) != 0 {
+		return fmt.Errorf("%s: entry block has predecessors", f.Name)
+	}
+	inFunc := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		inFunc[b] = true
+	}
+	for _, b := range f.Blocks {
+		if err := f.verifyBlock(b, inFunc); err != nil {
+			return err
+		}
+	}
+	if mode == VerifySSA {
+		return f.verifySSA()
+	}
+	return nil
+}
+
+func (f *Function) verifyBlock(b *Block, inFunc map[*Block]bool) error {
+	if b.Func != f {
+		return fmt.Errorf("%s: block %v has wrong Func pointer", f.Name, b)
+	}
+	term := b.Term()
+	if term == nil {
+		return fmt.Errorf("%s: block %v has no terminator", f.Name, b)
+	}
+	for i, in := range b.Instrs {
+		if in.Parent != b {
+			return fmt.Errorf("%s: %v instr %d (%s) has wrong Parent", f.Name, b, i, in.Op)
+		}
+		if in.Op.IsTerminator() && in != term {
+			return fmt.Errorf("%s: %v has terminator %s before end", f.Name, b, in.Op)
+		}
+		if in.Op.IsPhi() && i > 0 && !b.Instrs[i-1].Op.IsPhi() {
+			return fmt.Errorf("%s: %v has phi after non-phi", f.Name, b)
+		}
+		if in.Op == OpPhi && len(in.Args) != len(b.Preds) {
+			return fmt.Errorf("%s: %v phi r%d has %d args for %d preds", f.Name, b, in.Dst, len(in.Args), len(b.Preds))
+		}
+		if in.Op == OpMemPhi {
+			if len(in.MemDefs) != 1 {
+				return fmt.Errorf("%s: %v memphi with %d defs", f.Name, b, len(in.MemDefs))
+			}
+			if len(in.MemUses) != len(b.Preds) {
+				return fmt.Errorf("%s: %v memphi of %s has %d args for %d preds",
+					f.Name, b, f.Res(in.MemDefs[0].Res), len(in.MemUses), len(b.Preds))
+			}
+		}
+		for _, a := range in.Args {
+			if !a.IsConst() && (a.Reg() < 0 || int(a.Reg()) >= f.NumRegs) {
+				return fmt.Errorf("%s: %v uses out-of-range register %v", f.Name, b, a)
+			}
+		}
+		if in.HasDst() && int(in.Dst) >= f.NumRegs {
+			return fmt.Errorf("%s: %v defines out-of-range register r%d", f.Name, b, in.Dst)
+		}
+	}
+	switch term.Op {
+	case OpJmp:
+		if len(b.Succs) != 1 {
+			return fmt.Errorf("%s: %v jmp with %d successors", f.Name, b, len(b.Succs))
+		}
+	case OpBr:
+		if len(b.Succs) != 2 {
+			return fmt.Errorf("%s: %v br with %d successors", f.Name, b, len(b.Succs))
+		}
+		if b.Succs[0] == b.Succs[1] {
+			return fmt.Errorf("%s: %v br with identical targets", f.Name, b)
+		}
+	case OpRet:
+		if len(b.Succs) != 0 {
+			return fmt.Errorf("%s: %v ret with successors", f.Name, b)
+		}
+	}
+	for _, s := range b.Succs {
+		if !inFunc[s] {
+			return fmt.Errorf("%s: %v has successor %v outside function", f.Name, b, s)
+		}
+		if s.PredIndex(b) < 0 {
+			return fmt.Errorf("%s: edge %v -> %v missing back-pointer", f.Name, b, s)
+		}
+	}
+	for _, p := range b.Preds {
+		if !inFunc[p] {
+			return fmt.Errorf("%s: %v has predecessor %v outside function", f.Name, b, p)
+		}
+		if p.SuccIndex(b) < 0 {
+			return fmt.Errorf("%s: edge %v <- %v missing forward-pointer", f.Name, b, p)
+		}
+	}
+	return nil
+}
+
+func (f *Function) verifySSA() error {
+	regDef := make([]*Instr, f.NumRegs)
+	resDef := make(map[ResourceID]*Instr)
+	for _, p := range f.Params {
+		regDef[p] = &Instr{Op: OpInvalid} // sentinel: defined at entry
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.HasDst() {
+				if regDef[in.Dst] != nil {
+					return fmt.Errorf("%s: register r%d multiply defined (%v)", f.Name, in.Dst, b)
+				}
+				regDef[in.Dst] = in
+			}
+			for _, d := range in.MemDefs {
+				if prev, ok := resDef[d.Res]; ok {
+					return fmt.Errorf("%s: resource %s multiply defined (%v and %v)",
+						f.Name, f.Res(d.Res), prev.Op, in.Op)
+				}
+				resDef[d.Res] = in
+			}
+		}
+	}
+	// Every used register and resource version must have a definition
+	// (version 0 resources are live-in and need none).
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if !a.IsConst() && regDef[a.Reg()] == nil {
+					return fmt.Errorf("%s: register r%d used in %v but never defined", f.Name, a.Reg(), b)
+				}
+			}
+			for _, u := range in.MemUses {
+				if f.Res(u.Res).Version != 0 && resDef[u.Res] == nil {
+					return fmt.Errorf("%s: resource %s used in %v (%s) but never defined",
+						f.Name, f.Res(u.Res), b, in.Op)
+				}
+			}
+		}
+	}
+	return nil
+}

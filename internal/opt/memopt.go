@@ -1,0 +1,173 @@
+package opt
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// The passes in this file exploit memory SSA form directly, exercising
+// the paper's observation that putting singleton resources under SSA
+// lets classical scalar optimizations (redundant load elimination via
+// value numbering, dead store elimination) apply to memory
+// instructions. They are deliberately independent of register
+// promotion: the ablation benchmarks measure how much of promotion's
+// win these cheaper passes capture on their own (answer: the
+// within-iteration redundancy, but never the loop-carried traffic,
+// which needs promotion's phi-web reasoning).
+
+// ForwardStores rewrites every load of a resource version defined by a
+// direct store into a copy of the stored value (store-to-load
+// forwarding), and every load of a version already loaded at a
+// dominating program point into a copy of the earlier load's result
+// (redundant load elimination). Memory SSA makes both checks trivial:
+// a load and its reaching definition share a resource version, and
+// versions are immutable between definitions. Returns the number of
+// loads rewritten. The function must be in SSA form.
+func ForwardStores(f *ir.Function) int {
+	dom := cfg.BuildDomTree(f)
+
+	// storeVal[v] = the value a direct store wrote into version v.
+	storeVal := make(map[ir.ResourceID]ir.Value)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpStore {
+				storeVal[in.MemDefs[0].Res] = in.Args[0]
+			}
+		}
+	}
+
+	// Collect loads per version in dominator-tree preorder, so the
+	// first load of a version in the list dominates any later one that
+	// it dominates (preorder guarantees ancestors come first).
+	type loadSite struct {
+		in  *ir.Instr
+		blk *ir.Block
+		idx int
+	}
+	loadsOf := make(map[ir.ResourceID][]loadSite)
+	var visit func(b *ir.Block)
+	visit = func(b *ir.Block) {
+		for i, in := range b.Instrs {
+			if in.Op == ir.OpLoad {
+				v := in.MemUses[0].Res
+				loadsOf[v] = append(loadsOf[v], loadSite{in, b, i})
+			}
+		}
+		for _, c := range dom.Children(b) {
+			visit(c)
+		}
+	}
+	visit(f.Entry())
+
+	rewritten := 0
+	for v, sites := range loadsOf {
+		if val, ok := storeVal[v]; ok {
+			// Store-to-load forwarding: the store dominates every use
+			// of its version by SSA discipline.
+			for _, s := range sites {
+				replaceLoad(s.in, val)
+				rewritten++
+			}
+			continue
+		}
+		// Redundant load elimination: keep the first (dominating-most)
+		// load as the canonical one; later loads it dominates become
+		// copies of its result.
+		dominatesSite := func(a, b loadSite) bool {
+			if a.blk == b.blk {
+				return a.idx < b.idx
+			}
+			return dom.Dominates(a.blk, b.blk)
+		}
+		for i := 1; i < len(sites); i++ {
+			canon := -1
+			for j := 0; j < i; j++ {
+				if dominatesSite(sites[j], sites[i]) {
+					canon = j
+					break
+				}
+			}
+			if canon >= 0 {
+				replaceLoad(sites[i].in, ir.RegVal(sites[canon].in.Dst))
+				rewritten++
+			}
+		}
+	}
+	return rewritten
+}
+
+func replaceLoad(load *ir.Instr, v ir.Value) {
+	load.Op = ir.OpCopy
+	load.Args = []ir.Value{v}
+	load.Loc = ir.MemLoc{}
+	load.MemUses = nil
+}
+
+// DeadStoreElim removes direct stores whose defined version is never
+// read: not by a load, an aliased use (call, pointer access, return),
+// or transitively through live memory phis. Because returns carry
+// aliased uses of every global, a store is only deleted when it is
+// genuinely overwritten before any possible read on every path — the
+// SSA formulation of dead store elimination the paper attributes to
+// Cytron et al. Dead memory phis discovered along the way are removed
+// too. Returns the number of instructions removed. The function must be
+// in SSA form.
+func DeadStoreElim(f *ir.Function) int {
+	phiDefs := make(map[ir.ResourceID]*ir.Instr)
+	storeDefs := make(map[ir.ResourceID]*ir.Instr)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpMemPhi:
+				phiDefs[in.MemDefs[0].Res] = in
+			case ir.OpStore:
+				storeDefs[in.MemDefs[0].Res] = in
+			}
+		}
+	}
+
+	// Mark: versions read by real code seed the liveness; a live
+	// version defined by a memphi makes its operands live.
+	live := make(map[ir.ResourceID]bool)
+	var work []ir.ResourceID
+	mark := func(r ir.ResourceID) {
+		if !live[r] {
+			live[r] = true
+			work = append(work, r)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpMemPhi {
+				continue
+			}
+			for _, u := range in.MemUses {
+				mark(u.Res)
+			}
+		}
+	}
+	for len(work) > 0 {
+		r := work[len(work)-1]
+		work = work[:len(work)-1]
+		if phi := phiDefs[r]; phi != nil {
+			for _, u := range phi.MemUses {
+				mark(u.Res)
+			}
+		}
+	}
+
+	removed := 0
+	for v, st := range storeDefs {
+		if !live[v] && st.Parent != nil {
+			st.Parent.Remove(st)
+			removed++
+		}
+	}
+	for v, phi := range phiDefs {
+		if !live[v] && phi.Parent != nil {
+			phi.Parent.Remove(phi)
+			removed++
+		}
+	}
+	return removed
+}

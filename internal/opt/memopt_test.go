@@ -1,0 +1,233 @@
+package opt_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/pipeline"
+	"repro/internal/source"
+	"repro/internal/ssa"
+)
+
+// buildSSA compiles mini-C to SSA form (external-test copy of the
+// helper in opt's internal tests).
+func buildSSA(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := source.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alias.Analyze(prog); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range prog.Funcs {
+		if _, err := cfg.Normalize(f); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ssa.Build(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return prog
+}
+
+func countOp(f *ir.Function, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestForwardStoresToLoad(t *testing.T) {
+	prog := buildSSA(t, `
+int x;
+void main() {
+	x = 7;
+	print(x);
+	print(x + 1);
+}`)
+	main := prog.Func("main")
+	n := opt.ForwardStores(main)
+	if n != 2 {
+		t.Fatalf("forwarded %d loads, want 2\n%s", n, main)
+	}
+	if countOp(main, ir.OpLoad) != 0 {
+		t.Errorf("loads remain after forwarding:\n%s", main)
+	}
+}
+
+func TestRedundantLoadElim(t *testing.T) {
+	// Two loads of the same version (no intervening def): the second
+	// becomes a copy of the first.
+	prog := buildSSA(t, `
+int x;
+void helper() { x = 3; }
+void main() {
+	helper();
+	print(x);
+	print(x * 2);
+}`)
+	main := prog.Func("main")
+	before := countOp(main, ir.OpLoad)
+	if before != 2 {
+		t.Fatalf("precondition: want 2 loads, have %d", before)
+	}
+	n := opt.ForwardStores(main)
+	if n != 1 {
+		t.Fatalf("rewrote %d loads, want 1", n)
+	}
+	if countOp(main, ir.OpLoad) != 1 {
+		t.Errorf("want exactly one canonical load:\n%s", main)
+	}
+}
+
+func TestForwardStoresRespectsVersions(t *testing.T) {
+	// A call between the store and the load creates a new version; the
+	// load must NOT be forwarded.
+	prog := buildSSA(t, `
+int x;
+void clobber() { x = 99; }
+void main() {
+	x = 7;
+	clobber();
+	print(x);
+}`)
+	main := prog.Func("main")
+	opt.ForwardStores(main)
+	if countOp(main, ir.OpLoad) != 1 {
+		t.Errorf("load across a call was removed — unsound:\n%s", main)
+	}
+}
+
+func TestDeadStoreElim(t *testing.T) {
+	// The first store is overwritten before any read on every path.
+	prog := buildSSA(t, `
+int x;
+void main() {
+	x = 1;
+	x = 2;
+	print(x);
+}`)
+	main := prog.Func("main")
+	n := opt.DeadStoreElim(main)
+	if n != 1 {
+		t.Fatalf("removed %d stores, want 1\n%s", n, main)
+	}
+	if countOp(main, ir.OpStore) != 1 {
+		t.Errorf("want one surviving store:\n%s", main)
+	}
+}
+
+func TestDeadStoreElimKeepsObservableStores(t *testing.T) {
+	// The final store must survive: the return makes globals
+	// observable.
+	prog := buildSSA(t, `
+int x;
+void main() {
+	x = 42;
+}`)
+	main := prog.Func("main")
+	if n := opt.DeadStoreElim(main); n != 0 {
+		t.Fatalf("removed %d observable stores", n)
+	}
+}
+
+func TestDeadStoreElimKeepsLoopCarriedStores(t *testing.T) {
+	prog := buildSSA(t, `
+int x;
+void main() {
+	int i;
+	for (i = 0; i < 10; i++) x++;
+	print(x);
+}`)
+	main := prog.Func("main")
+	if n := opt.DeadStoreElim(main); n != 0 {
+		t.Fatalf("removed %d loop-carried stores", n)
+	}
+}
+
+// TestMemOptSemantics: the memopt-only pipeline preserves behaviour on
+// every workload-shaped scenario it is pointed at.
+func TestMemOptSemantics(t *testing.T) {
+	srcs := []string{
+		`int x; void main() { x = 1; x = 2; print(x); print(x + x); }`,
+		`int a; int b;
+		 void main() {
+			int i;
+			for (i = 0; i < 20; i++) { a = i; b = a + a; }
+			print(a); print(b);
+		 }`,
+		`int g;
+		 void f() { g = g * 2; }
+		 void main() { g = 3; f(); print(g); print(g); }`,
+	}
+	for _, src := range srcs {
+		out, err := pipeline.Run(src, pipeline.Options{Algorithm: pipeline.AlgMemOpt})
+		if err != nil {
+			t.Fatalf("%v\n%s", err, src)
+		}
+		if !reflect.DeepEqual(out.Before.Output, out.After.Output) {
+			t.Fatalf("memopt changed output: %v -> %v\n%s",
+				out.Before.Output, out.After.Output, src)
+		}
+		if !reflect.DeepEqual(out.Before.Globals, out.After.Globals) {
+			t.Fatalf("memopt changed memory image\n%s", src)
+		}
+	}
+}
+
+// TestMemOptCannotMatchPromotionOnLoops: the ablation's point — RLE and
+// forwarding catch within-iteration redundancy but cannot remove
+// loop-carried traffic, which needs promotion.
+func TestMemOptCannotMatchPromotionOnLoops(t *testing.T) {
+	src := `
+int x;
+void main() {
+	int i;
+	for (i = 0; i < 100; i++) x++;
+	print(x);
+}`
+	memopt, err := pipeline.Run(src, pipeline.Options{Algorithm: pipeline.AlgMemOpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	promo, err := pipeline.Run(src, pipeline.Options{Algorithm: pipeline.AlgSSA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memopt.After.DynMemOps() <= promo.After.DynMemOps() {
+		t.Errorf("memopt (%d ops) should not match promotion (%d ops) on a loop",
+			memopt.After.DynMemOps(), promo.After.DynMemOps())
+	}
+}
+
+// TestPreMemOptsComposeWithPromotion: running the scalar opts before
+// promotion must stay semantically transparent.
+func TestPreMemOptsComposeWithPromotion(t *testing.T) {
+	src := `
+int x; int y;
+void main() {
+	x = 5;
+	int i;
+	for (i = 0; i < 50; i++) {
+		y = y + x;
+	}
+	print(x); print(y);
+}`
+	out, err := pipeline.Run(src, pipeline.Options{PreMemOpts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Before.Output, out.After.Output) {
+		t.Fatalf("output changed: %v -> %v", out.Before.Output, out.After.Output)
+	}
+}

@@ -1,0 +1,137 @@
+// Package opt provides the scalar cleanup passes that run after
+// register promotion: copy propagation and dead code elimination. The
+// promotion algorithm deliberately leaves its transformation residue —
+// loads replaced by copy instructions, register phis mirroring memory
+// phis, dead memory phis — and these passes sweep it away, exactly as
+// the paper's cleanup() step does.
+package opt
+
+import (
+	"repro/internal/ir"
+	"repro/internal/ssa"
+)
+
+// CopyPropagate rewrites every use of a register defined by `dst = copy
+// src` to src directly and removes the copies. It resolves copy chains
+// and returns the number of copies removed. The function must be in SSA
+// form.
+func CopyPropagate(f *ir.Function) int {
+	// Map each copy target to its (chain-resolved) source value.
+	repl := make(map[ir.RegID]ir.Value)
+	var copies []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCopy {
+				repl[in.Dst] = in.Args[0]
+				copies = append(copies, in)
+			}
+		}
+	}
+	if len(copies) == 0 {
+		return 0
+	}
+	resolve := func(v ir.Value) ir.Value {
+		seen := 0
+		for !v.IsConst() {
+			next, ok := repl[v.Reg()]
+			if !ok {
+				break
+			}
+			v = next
+			if seen++; seen > len(copies) {
+				break // defensive: cyclic copies cannot occur in SSA
+			}
+		}
+		return v
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if !a.IsConst() {
+					if _, ok := repl[a.Reg()]; ok {
+						in.Args[i] = resolve(a)
+					}
+				}
+			}
+		}
+	}
+	for _, c := range copies {
+		c.Parent.Remove(c)
+	}
+	return len(copies)
+}
+
+// DCE removes instructions whose results are never used and which have
+// no side effects: dead arithmetic, dead loads, dead copies, dead
+// register phis, and dead memory phis. Stores, calls, prints, and
+// terminators are roots. Liveness propagates through both the register
+// operand graph and the memory version graph (a live instruction's
+// memory uses keep the defining memphi alive). Returns the number of
+// instructions removed.
+func DCE(f *ir.Function) int {
+	regDef := make(map[ir.RegID]*ir.Instr)
+	resDef := make(map[ir.ResourceID]*ir.Instr)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.HasDst() {
+				regDef[in.Dst] = in
+			}
+			for _, d := range in.MemDefs {
+				resDef[d.Res] = in
+			}
+		}
+	}
+
+	live := make(map[*ir.Instr]bool)
+	var work []*ir.Instr
+	mark := func(in *ir.Instr) {
+		if in != nil && !live[in] {
+			live[in] = true
+			work = append(work, in)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op.HasSideEffects() {
+				mark(in)
+			}
+		}
+	}
+	for len(work) > 0 {
+		in := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, a := range in.Args {
+			if !a.IsConst() {
+				mark(regDef[a.Reg()])
+			}
+		}
+		for _, u := range in.MemUses {
+			mark(resDef[u.Res])
+		}
+	}
+
+	removed := 0
+	for _, b := range f.Blocks {
+		for _, in := range append([]*ir.Instr(nil), b.Instrs...) {
+			if !live[in] && !in.Op.HasSideEffects() {
+				b.Remove(in)
+				removed++
+			}
+		}
+	}
+	return removed
+}
+
+// Cleanup runs the full post-promotion sweep: copy propagation, dead
+// code elimination, and trivial phi pruning, iterating until nothing
+// changes.
+func Cleanup(f *ir.Function) {
+	for {
+		n := CopyPropagate(f)
+		n += DCE(f)
+		n += ssa.PruneTrivialPhis(f)
+		if n == 0 {
+			return
+		}
+	}
+}

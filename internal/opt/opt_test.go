@@ -1,0 +1,163 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/source"
+	"repro/internal/ssa"
+)
+
+func buildSSA(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := source.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alias.Analyze(prog); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range prog.Funcs {
+		if _, err := cfg.Normalize(f); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ssa.Build(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return prog
+}
+
+func countOp(f *ir.Function, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestCopyPropagateChains(t *testing.T) {
+	p := ir.NewProgram()
+	f := ir.NewFunction(p, "cp")
+	a := f.NewReg("a")
+	b := f.NewReg("b")
+	c := f.NewReg("c")
+	blk := f.NewBlock()
+	blk.Append(ir.NewInstr(ir.OpCopy, a, ir.ConstVal(5)))
+	blk.Append(ir.NewInstr(ir.OpCopy, b, ir.RegVal(a)))
+	blk.Append(ir.NewInstr(ir.OpCopy, c, ir.RegVal(b)))
+	blk.Append(ir.NewInstr(ir.OpPrint, ir.NoReg, ir.RegVal(c)))
+	blk.Append(ir.NewInstr(ir.OpRet, ir.NoReg))
+
+	n := CopyPropagate(f)
+	if n != 3 {
+		t.Fatalf("removed %d copies, want 3", n)
+	}
+	pr := blk.Instrs[0]
+	if pr.Op != ir.OpPrint || !pr.Args[0].IsConst() || pr.Args[0].Const() != 5 {
+		t.Fatalf("print arg not folded through chain: %v", pr)
+	}
+}
+
+func TestDCERemovesDeadArithmeticAndLoads(t *testing.T) {
+	prog := buildSSA(t, `
+int g;
+void main() {
+	int dead = g + 41;
+	print(7);
+}`)
+	main := prog.Func("main")
+	if n := countOp(main, ir.OpLoad); n != 1 {
+		t.Fatalf("precondition: want 1 load, have %d", n)
+	}
+	DCE(main)
+	if n := countOp(main, ir.OpLoad); n != 0 {
+		t.Errorf("dead load survived DCE")
+	}
+	if n := countOp(main, ir.OpAdd); n != 0 {
+		t.Errorf("dead add survived DCE")
+	}
+	// The print must survive.
+	if n := countOp(main, ir.OpPrint); n != 1 {
+		t.Errorf("print removed by DCE")
+	}
+}
+
+func TestDCEKeepsStoresAndCalls(t *testing.T) {
+	prog := buildSSA(t, `
+int g;
+void touch() { g = 1; }
+void main() {
+	g = 42;
+	touch();
+}`)
+	main := prog.Func("main")
+	stores := countOp(main, ir.OpStore)
+	calls := countOp(main, ir.OpCall)
+	DCE(main)
+	if countOp(main, ir.OpStore) != stores || countOp(main, ir.OpCall) != calls {
+		t.Error("DCE removed a store or call")
+	}
+}
+
+func TestDCEKeepsLiveMemPhis(t *testing.T) {
+	prog := buildSSA(t, `
+int x;
+void main() {
+	int i;
+	for (i = 0; i < 10; i++) x++;
+	print(x);
+}`)
+	main := prog.Func("main")
+	before := countOp(main, ir.OpMemPhi)
+	if before == 0 {
+		t.Fatal("precondition: loop should have a memphi for x")
+	}
+	DCE(main)
+	// The memphi feeds the load of x inside the loop; it must survive.
+	if after := countOp(main, ir.OpMemPhi); after == 0 {
+		t.Error("live memphi removed by DCE")
+	}
+}
+
+func TestDCERemovesDeadPhis(t *testing.T) {
+	prog := buildSSA(t, `
+int c;
+void main() {
+	int a = 0;
+	if (c) { a = 1; } else { a = 2; }
+	print(9);
+}`)
+	main := prog.Func("main")
+	DCE(main)
+	if n := countOp(main, ir.OpPhi); n != 0 {
+		t.Errorf("dead phi survived: %d", n)
+	}
+}
+
+func TestCleanupReachesFixpoint(t *testing.T) {
+	// A copy feeding a dead add feeding nothing: needs copy-prop then
+	// DCE, possibly repeatedly.
+	prog := buildSSA(t, `
+int g;
+void main() {
+	int a = g;
+	int b = a;
+	int c = b + 1;
+	print(1);
+}`)
+	main := prog.Func("main")
+	Cleanup(main)
+	if n := countOp(main, ir.OpCopy) + countOp(main, ir.OpAdd) + countOp(main, ir.OpLoad); n != 0 {
+		t.Errorf("Cleanup left %d dead instructions:\n%s", n, main)
+	}
+	if err := main.Verify(ir.VerifySSA); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,298 @@
+// Package pipeline assembles the full register promotion compiler flow
+// used by the examples, tools, tests, and the benchmark harness:
+//
+//	mini-C ─ source.Compile ─ alias.Analyze ─ cfg.Normalize
+//	       ─ (training run → profile | static estimate)
+//	       ─ ssa.Build ─ core.PromoteFunction ─ opt.Cleanup ─ ssa.Destruct
+//
+// Because promotion mutates the IR in place, the pipeline compiles the
+// source twice: once to measure the baseline program and once to build
+// the promoted program, so before/after comparisons run the same input
+// on genuinely independent programs.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/alias"
+	"repro/internal/baseline"
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/profile"
+	"repro/internal/source"
+	"repro/internal/ssa"
+)
+
+// Algorithm selects the promotion algorithm.
+type Algorithm int
+
+const (
+	// AlgSSA is the paper's interval-based SSA promotion (internal/core).
+	AlgSSA Algorithm = iota
+	// AlgBaseline is the loop-based, profile-blind promotion in the
+	// style of Lu–Cooper (internal/baseline).
+	AlgBaseline
+	// AlgMemOpt runs only the memory-SSA scalar optimizations
+	// (store-to-load forwarding, redundant load elimination, dead store
+	// elimination) without promotion — the ablation showing how much of
+	// promotion's win is plain redundancy removal.
+	AlgMemOpt
+	// AlgNone performs no promotion (control).
+	AlgNone
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgSSA:
+		return "ssa"
+	case AlgBaseline:
+		return "baseline"
+	case AlgMemOpt:
+		return "memopt"
+	case AlgNone:
+		return "none"
+	}
+	return "?"
+}
+
+// Options configures a pipeline run.
+type Options struct {
+	// Algorithm selects the promotion pass (default AlgSSA).
+	Algorithm Algorithm
+	// PreMemOpts runs store-to-load forwarding, redundant load
+	// elimination, and dead store elimination before promotion (only
+	// meaningful with AlgSSA).
+	PreMemOpts bool
+	// WholeFunctionScope promotes once over the whole function body
+	// (the paper's rejected first approach) instead of interval by
+	// interval; for the scope ablation.
+	WholeFunctionScope bool
+	// MaxPromotedWebs caps promotions per function (0 = unlimited), a
+	// crude register pressure budget.
+	MaxPromotedWebs int
+	// StaticProfile uses the loop-depth estimator instead of a training
+	// run when true.
+	StaticProfile bool
+	// TrainSrc, when non-empty, is a separate program variant (same
+	// functions, different input constants) whose execution supplies
+	// the training profile — the SPEC train-vs-reference methodology.
+	// Block IDs must line up, which holds when the variants differ only
+	// in constants; Run verifies function names match.
+	TrainSrc string
+	// CountTailStores is forwarded to core.Config (default true unless
+	// PaperProfitFormula is set).
+	PaperProfitFormula bool
+	// Interp bounds the measurement runs.
+	Interp interp.Options
+	// SkipMeasurement skips the before/after interpreter runs (the
+	// caller only wants the transformed program and static counts).
+	SkipMeasurement bool
+}
+
+// StaticCounts are instruction counts of a program, the paper's static
+// cost metric.
+type StaticCounts struct {
+	Loads  int // singleton loads
+	Stores int // singleton stores
+}
+
+// Total returns loads plus stores.
+func (s StaticCounts) Total() int { return s.Loads + s.Stores }
+
+// Outcome is the result of running the pipeline on one program.
+type Outcome struct {
+	// Prog is the transformed (promoted, destructed) program.
+	Prog *ir.Program
+	// Stats accumulates promotion statistics per function.
+	Stats map[string]*core.Stats
+	// TotalStats sums Stats.
+	TotalStats core.Stats
+	// StaticBefore/StaticAfter count singleton memory operations in the
+	// normalized program before and after promotion (Table 1's metric).
+	StaticBefore, StaticAfter StaticCounts
+	// Before/After are the measurement runs (nil when SkipMeasurement).
+	Before, After *interp.Result
+	// Profile is the training profile the promoter consumed.
+	Profile *profile.Profile
+}
+
+// Run executes the full pipeline on mini-C source text.
+func Run(src string, opts Options) (*Outcome, error) {
+	out := &Outcome{Stats: make(map[string]*core.Stats)}
+
+	// Baseline program: compiled, analyzed, normalized — not promoted.
+	before, _, err := frontend(src)
+	if err != nil {
+		return nil, err
+	}
+	out.StaticBefore = countStatic(before)
+
+	// Training profile (on the unpromoted program, or on a separate
+	// training-input variant when TrainSrc is set).
+	prof := profile.NewProfile()
+	switch {
+	case opts.StaticProfile:
+		p, err := estimateAll(before)
+		if err != nil {
+			return nil, err
+		}
+		prof = p
+	case opts.TrainSrc != "":
+		train, _, err := frontend(opts.TrainSrc)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: training source: %w", err)
+		}
+		for _, f := range before.Funcs {
+			if train.Func(f.Name) == nil {
+				return nil, fmt.Errorf("pipeline: training source lacks function %s", f.Name)
+			}
+		}
+		popts := opts.Interp
+		popts.CollectProfile = true
+		res, err := interp.Run(train, popts)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: training run: %w", err)
+		}
+		prof = res.Profile
+	default:
+		popts := opts.Interp
+		popts.CollectProfile = true
+		res, err := interp.Run(before, popts)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: training run: %w", err)
+		}
+		prof = res.Profile
+	}
+	out.Profile = prof
+
+	// Measurement of the unpromoted program.
+	if !opts.SkipMeasurement {
+		res, err := interp.Run(before, opts.Interp)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: baseline run: %w", err)
+		}
+		out.Before = res
+	}
+
+	// Promoted program: fresh compile, then transform.
+	after, forests, err := frontend(src)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range after.Funcs {
+		fp := prof.ForFunc(f.Name)
+		switch opts.Algorithm {
+		case AlgSSA:
+			if _, err := ssa.Build(f); err != nil {
+				return nil, fmt.Errorf("pipeline: %s: %w", f.Name, err)
+			}
+			if opts.PreMemOpts {
+				opt.ForwardStores(f)
+				opt.DeadStoreElim(f)
+				opt.Cleanup(f)
+			}
+			scope := core.ScopeIntervals
+			if opts.WholeFunctionScope {
+				scope = core.ScopeWholeFunction
+			}
+			stats, err := core.PromoteFunction(f, forests[f.Name], core.Config{
+				Profile:         fp,
+				Scope:           scope,
+				CountTailStores: !opts.PaperProfitFormula,
+				MaxPromotedWebs: opts.MaxPromotedWebs,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: promote %s: %w", f.Name, err)
+			}
+			out.Stats[f.Name] = stats
+			out.TotalStats.Add(*stats)
+			ssa.Destruct(f)
+		case AlgMemOpt:
+			if _, err := ssa.Build(f); err != nil {
+				return nil, fmt.Errorf("pipeline: %s: %w", f.Name, err)
+			}
+			opt.ForwardStores(f)
+			opt.DeadStoreElim(f)
+			opt.Cleanup(f)
+			ssa.Destruct(f)
+		case AlgBaseline:
+			stats := baseline.PromoteFunction(f, forests[f.Name])
+			out.Stats[f.Name] = &core.Stats{
+				WebsConsidered: stats.VarsConsidered,
+				WebsPromoted:   stats.VarsPromoted,
+				LoadsReplaced:  stats.LoadsReplaced,
+				StoresDeleted:  stats.StoresDeleted,
+				LoadsInserted:  stats.LoadsInserted,
+				StoresInserted: stats.StoresInserted,
+			}
+			out.TotalStats.Add(*out.Stats[f.Name])
+		case AlgNone:
+			// control: nothing
+		}
+		if err := f.Verify(ir.VerifyCFG); err != nil {
+			return nil, fmt.Errorf("pipeline: post-transform %s: %w", f.Name, err)
+		}
+	}
+	out.Prog = after
+	out.StaticAfter = countStatic(after)
+
+	if !opts.SkipMeasurement {
+		res, err := interp.Run(after, opts.Interp)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: promoted run: %w", err)
+		}
+		out.After = res
+	}
+	return out, nil
+}
+
+// frontend compiles and prepares a program up to (but excluding) SSA.
+func frontend(src string) (*ir.Program, map[string]*cfg.Forest, error) {
+	prog, err := source.Compile(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := alias.Analyze(prog); err != nil {
+		return nil, nil, err
+	}
+	forests := make(map[string]*cfg.Forest, len(prog.Funcs))
+	for _, f := range prog.Funcs {
+		forest, err := cfg.Normalize(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		forests[f.Name] = forest
+	}
+	return prog, forests, nil
+}
+
+func estimateAll(prog *ir.Program) (*profile.Profile, error) {
+	p := profile.NewProfile()
+	for _, f := range prog.Funcs {
+		forest := cfg.BuildIntervals(f)
+		p.Funcs[f.Name] = profile.Estimate(f, forest)
+	}
+	return p, nil
+}
+
+// countStatic counts singleton loads and stores in a program.
+func countStatic(prog *ir.Program) StaticCounts {
+	var c StaticCounts
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpLoad:
+					c.Loads++
+				case ir.OpStore:
+					c.Stores++
+				}
+			}
+		}
+	}
+	return c
+}

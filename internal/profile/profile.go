@@ -1,0 +1,113 @@
+// Package profile represents execution frequency information — the
+// profile feedback that drives the register promotion algorithm's
+// profitability decisions. Profiles come from two sources: measured
+// counts recorded by the interpreter on a training run, and a static
+// loop-depth estimator used when no run profile is available. Both
+// produce the same FuncProfile shape.
+package profile
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// Edge identifies a CFG edge by block IDs.
+type Edge struct {
+	From, To ir.BlockID
+}
+
+// FuncProfile holds execution frequencies for one function. Frequencies
+// are float64 so static estimates (which scale geometrically with loop
+// depth) and measured counts share a representation.
+type FuncProfile struct {
+	Block map[ir.BlockID]float64
+	Edge  map[Edge]float64
+}
+
+// NewFuncProfile returns an empty function profile.
+func NewFuncProfile() *FuncProfile {
+	return &FuncProfile{
+		Block: make(map[ir.BlockID]float64),
+		Edge:  make(map[Edge]float64),
+	}
+}
+
+// BlockFreq returns the execution frequency of b (0 if never recorded).
+func (fp *FuncProfile) BlockFreq(b *ir.Block) float64 { return fp.Block[b.ID] }
+
+// EdgeFreq returns the execution frequency of the edge from -> to.
+func (fp *FuncProfile) EdgeFreq(from, to *ir.Block) float64 {
+	return fp.Edge[Edge{from.ID, to.ID}]
+}
+
+// AddBlock accumulates n executions of b.
+func (fp *FuncProfile) AddBlock(b *ir.Block, n float64) { fp.Block[b.ID] += n }
+
+// AddEdge accumulates n traversals of from -> to.
+func (fp *FuncProfile) AddEdge(from, to *ir.Block, n float64) {
+	fp.Edge[Edge{from.ID, to.ID}] += n
+}
+
+// Profile maps function names to their profiles.
+type Profile struct {
+	Funcs map[string]*FuncProfile
+}
+
+// NewProfile returns an empty program profile.
+func NewProfile() *Profile {
+	return &Profile{Funcs: make(map[string]*FuncProfile)}
+}
+
+// ForFunc returns the profile of the named function, creating an empty
+// one on first use.
+func (p *Profile) ForFunc(name string) *FuncProfile {
+	fp, ok := p.Funcs[name]
+	if !ok {
+		fp = NewFuncProfile()
+		p.Funcs[name] = fp
+	}
+	return fp
+}
+
+// loopScale is the factor by which the static estimator assumes each
+// loop level multiplies execution frequency. Ten is the traditional
+// compiler folklore value.
+const loopScale = 10
+
+// Estimate produces a static profile for f from its interval forest:
+// every block's frequency is loopScale^depth, and each edge carries its
+// source frequency split evenly across successors. It is deliberately
+// crude — the paper's algorithm only needs relative frequencies between
+// a loop body and the blocks holding its aliased references.
+func Estimate(f *ir.Function, forest *cfg.Forest) *FuncProfile {
+	fp := NewFuncProfile()
+	for _, b := range f.Blocks {
+		depth := forest.InnermostInterval(b).Depth
+		freq := 1.0
+		for i := 0; i < depth; i++ {
+			freq *= loopScale
+		}
+		fp.Block[b.ID] = freq
+	}
+	for _, b := range f.Blocks {
+		if len(b.Succs) == 0 {
+			continue
+		}
+		share := fp.Block[b.ID] / float64(len(b.Succs))
+		for _, s := range b.Succs {
+			fp.Edge[Edge{b.ID, s.ID}] += share
+		}
+	}
+	return fp
+}
+
+// EstimateProgram runs Estimate on every function of prog, building each
+// function's interval forest on the fly.
+func EstimateProgram(prog *ir.Program) (*Profile, error) {
+	p := NewProfile()
+	for _, f := range prog.Funcs {
+		forest := cfg.BuildIntervals(f)
+		p.Funcs[f.Name] = Estimate(f, forest)
+	}
+	return p, nil
+}

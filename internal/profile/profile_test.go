@@ -1,0 +1,103 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/source"
+)
+
+func prep(t *testing.T, src string) (*ir.Program, map[string]*cfg.Forest) {
+	t.Helper()
+	prog, err := source.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alias.Analyze(prog); err != nil {
+		t.Fatal(err)
+	}
+	forests := make(map[string]*cfg.Forest)
+	for _, f := range prog.Funcs {
+		fo, err := cfg.Normalize(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forests[f.Name] = fo
+	}
+	return prog, forests
+}
+
+func TestEstimateScalesWithLoopDepth(t *testing.T) {
+	prog, forests := prep(t, `
+int g;
+void main() {
+	int i; int j;
+	g = 1;
+	for (i = 0; i < 10; i++) {
+		for (j = 0; j < 10; j++) {
+			g = g + 1;
+		}
+	}
+}`)
+	main := prog.Func("main")
+	fo := forests["main"]
+	fp := Estimate(main, fo)
+
+	freqAtDepth := map[int]float64{}
+	for _, b := range main.Blocks {
+		d := fo.InnermostInterval(b).Depth
+		if fp.BlockFreq(b) > freqAtDepth[d] {
+			freqAtDepth[d] = fp.BlockFreq(b)
+		}
+	}
+	if !(freqAtDepth[0] < freqAtDepth[1] && freqAtDepth[1] < freqAtDepth[2]) {
+		t.Errorf("frequencies do not scale with depth: %v", freqAtDepth)
+	}
+	if freqAtDepth[0] != 1 || freqAtDepth[1] != 10 || freqAtDepth[2] != 100 {
+		t.Errorf("freqs = %v, want 1/10/100", freqAtDepth)
+	}
+}
+
+func TestEstimateEdgeSplit(t *testing.T) {
+	prog, forests := prep(t, `
+int c;
+void main() {
+	if (c) { c = 1; } else { c = 2; }
+}`)
+	main := prog.Func("main")
+	fp := Estimate(main, forests["main"])
+	// A two-way branch at depth 0 gives each edge half the frequency.
+	for _, b := range main.Blocks {
+		if len(b.Succs) == 2 {
+			e0 := fp.EdgeFreq(b, b.Succs[0])
+			e1 := fp.EdgeFreq(b, b.Succs[1])
+			if e0 != e1 || e0 != fp.BlockFreq(b)/2 {
+				t.Errorf("edge freqs %v/%v for block freq %v", e0, e1, fp.BlockFreq(b))
+			}
+		}
+	}
+}
+
+func TestForFuncCreatesOnDemand(t *testing.T) {
+	p := NewProfile()
+	fp := p.ForFunc("f")
+	if fp == nil || p.ForFunc("f") != fp {
+		t.Fatal("ForFunc must return a stable profile")
+	}
+}
+
+func TestEstimateProgramCoversAllFunctions(t *testing.T) {
+	prog, _ := prep(t, `
+int g;
+void helper() { g++; }
+void main() { helper(); }`)
+	p, err := EstimateProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Funcs["main"] == nil || p.Funcs["helper"] == nil {
+		t.Fatalf("missing function profiles: %v", p.Funcs)
+	}
+}

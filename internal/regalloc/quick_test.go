@@ -1,0 +1,126 @@
+package regalloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// TestQuickColoringIsValid: on random generated programs (promoted and
+// destructed), the produced coloring must be proper — no two
+// interfering registers share a color — and Colors >= MaxLive must
+// hold.
+func TestQuickColoringIsValid(t *testing.T) {
+	property := func(seed int64) bool {
+		src := workload.Generate(workload.DefaultGenConfig(seed))
+		out, err := pipeline.Run(src, pipeline.Options{
+			StaticProfile:   true,
+			SkipMeasurement: true,
+		})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, f := range out.Prog.Funcs {
+			res := Allocate(f)
+			if res.Colors < res.MaxLive {
+				t.Logf("seed %d %s: colors %d < maxlive %d", seed, f.Name, res.Colors, res.MaxLive)
+				return false
+			}
+			if !validColoring(f, res) {
+				t.Logf("seed %d %s: interfering registers share a color", seed, f.Name)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// validColoring re-derives interference from scratch (via a second
+// liveness pass embedded in Allocate's own data) by checking that every
+// pair of registers simultaneously live at some point has distinct
+// colors. It replays the same backward walk Allocate uses, but checks
+// instead of builds.
+func validColoring(f *ir.Function, res *Result) bool {
+	// Recompute per-block live-out with an independent, simple
+	// iteration.
+	liveOut := make(map[*ir.Block]map[ir.RegID]bool)
+	liveIn := make(map[*ir.Block]map[ir.RegID]bool)
+	for _, b := range f.Blocks {
+		liveOut[b] = map[ir.RegID]bool{}
+		liveIn[b] = map[ir.RegID]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := map[ir.RegID]bool{}
+			for _, s := range b.Succs {
+				for r := range liveIn[s] {
+					out[r] = true
+				}
+			}
+			in := map[ir.RegID]bool{}
+			for r := range out {
+				in[r] = true
+			}
+			for k := len(b.Instrs) - 1; k >= 0; k-- {
+				instr := b.Instrs[k]
+				if instr.HasDst() {
+					delete(in, instr.Dst)
+				}
+				for _, a := range instr.Args {
+					if !a.IsConst() {
+						in[a.Reg()] = true
+					}
+				}
+			}
+			if len(out) != len(liveOut[b]) || len(in) != len(liveIn[b]) {
+				changed = true
+			}
+			liveOut[b], liveIn[b] = out, in
+		}
+	}
+
+	conflict := func(a, b ir.RegID) bool {
+		ca, cb := res.Assignment[a], res.Assignment[b]
+		return ca >= 0 && cb >= 0 && ca == cb
+	}
+	for _, b := range f.Blocks {
+		live := map[ir.RegID]bool{}
+		for r := range liveOut[b] {
+			live[r] = true
+		}
+		for k := len(b.Instrs) - 1; k >= 0; k-- {
+			instr := b.Instrs[k]
+			if instr.HasDst() {
+				copySrc := ir.NoReg
+				if instr.Op == ir.OpCopy && !instr.Args[0].IsConst() {
+					copySrc = instr.Args[0].Reg()
+				}
+				for r := range live {
+					if r != instr.Dst && r != copySrc && conflict(instr.Dst, r) {
+						return false
+					}
+				}
+				delete(live, instr.Dst)
+			}
+			for _, a := range instr.Args {
+				if !a.IsConst() {
+					live[a.Reg()] = true
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,256 @@
+// Package regalloc measures register pressure: it builds the virtual
+// register interference graph from a liveness analysis and colors it
+// with a Chaitin/Briggs-style simplify-and-select pass, reporting the
+// number of colors needed — the metric of the paper's Table 3, which
+// shows register promotion trading memory traffic for register
+// pressure.
+package regalloc
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Result describes one function's register pressure.
+type Result struct {
+	// Colors is the number of colors the greedy simplify/select
+	// coloring needed — the paper's register pressure measure.
+	Colors int
+	// Nodes counts registers that are live somewhere (isolated dead
+	// registers are excluded).
+	Nodes int
+	// Edges counts interference edges.
+	Edges int
+	// MaxLive is the largest number of registers simultaneously live at
+	// any program point, a lower bound on Colors.
+	MaxLive int
+	// Assignment maps each register to its color, or -1 for registers
+	// that never interfere (and never live).
+	Assignment []int
+}
+
+// Allocate computes liveness, builds the interference graph, and colors
+// it. It accepts SSA or non-SSA IR: phi uses count as live-out of the
+// corresponding predecessor, phi definitions interfere like ordinary
+// definitions at block entry.
+func Allocate(f *ir.Function) *Result {
+	n := f.NumRegs
+	liveIn := make([]map[ir.RegID]bool, len(f.Blocks))
+	liveOut := make([]map[ir.RegID]bool, len(f.Blocks))
+	blockIdx := make(map[*ir.Block]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		blockIdx[b] = i
+		liveIn[i] = make(map[ir.RegID]bool)
+		liveOut[i] = make(map[ir.RegID]bool)
+	}
+
+	// Backward liveness to a fixed point. Phi operands are recorded as
+	// live-out of their predecessor, not live-in of the phi's block.
+	for changed := true; changed; {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := make(map[ir.RegID]bool)
+			for _, s := range b.Succs {
+				si := blockIdx[s]
+				for r := range liveIn[si] {
+					out[r] = true
+				}
+				for _, phi := range s.Phis() {
+					if phi.Op != ir.OpPhi {
+						continue
+					}
+					pi := s.PredIndex(b)
+					if pi >= 0 && pi < len(phi.Args) && !phi.Args[pi].IsConst() {
+						out[phi.Args[pi].Reg()] = true
+					}
+				}
+			}
+			in := make(map[ir.RegID]bool, len(out))
+			for r := range out {
+				in[r] = true
+			}
+			for k := len(b.Instrs) - 1; k >= 0; k-- {
+				instr := b.Instrs[k]
+				if instr.HasDst() {
+					delete(in, instr.Dst)
+				}
+				if instr.Op == ir.OpPhi {
+					continue // phi uses belong to predecessors
+				}
+				for _, a := range instr.Args {
+					if !a.IsConst() {
+						in[a.Reg()] = true
+					}
+				}
+			}
+			if !sameSet(liveOut[i], out) {
+				liveOut[i] = out
+				changed = true
+			}
+			if !sameSet(liveIn[i], in) {
+				liveIn[i] = in
+				changed = true
+			}
+		}
+	}
+
+	// Interference graph. Walk each block backward from live-out; a
+	// definition interferes with everything live across it. Copies get
+	// the classic exception: `d = copy s` does not make d and s
+	// interfere (they may share a register).
+	adj := make([]map[ir.RegID]bool, n)
+	addEdge := func(a, b ir.RegID) {
+		if a == b {
+			return
+		}
+		if adj[a] == nil {
+			adj[a] = make(map[ir.RegID]bool)
+		}
+		if adj[b] == nil {
+			adj[b] = make(map[ir.RegID]bool)
+		}
+		adj[a][b] = true
+		adj[b][a] = true
+	}
+	everLive := make([]bool, n)
+	maxLive := 0
+	for i, b := range f.Blocks {
+		live := make(map[ir.RegID]bool, len(liveOut[i]))
+		for r := range liveOut[i] {
+			live[r] = true
+		}
+		if len(live) > maxLive {
+			maxLive = len(live)
+		}
+		for k := len(b.Instrs) - 1; k >= 0; k-- {
+			instr := b.Instrs[k]
+			if instr.HasDst() {
+				everLive[instr.Dst] = true
+				copySrc := ir.NoReg
+				if instr.Op == ir.OpCopy && !instr.Args[0].IsConst() {
+					copySrc = instr.Args[0].Reg()
+				}
+				for r := range live {
+					if r != instr.Dst && r != copySrc {
+						addEdge(instr.Dst, r)
+					}
+				}
+				delete(live, instr.Dst)
+			}
+			if instr.Op != ir.OpPhi {
+				for _, a := range instr.Args {
+					if !a.IsConst() {
+						live[a.Reg()] = true
+						everLive[a.Reg()] = true
+					}
+				}
+			}
+			if len(live) > maxLive {
+				maxLive = len(live)
+			}
+		}
+	}
+	for r := range liveIn[0] {
+		everLive[r] = true
+	}
+	for _, p := range f.Params {
+		everLive[p] = true
+	}
+
+	return color(n, adj, everLive, maxLive)
+}
+
+// color runs smallest-last simplify ordering and greedy select,
+// returning the coloring statistics.
+func color(n int, adj []map[ir.RegID]bool, everLive []bool, maxLive int) *Result {
+	res := &Result{MaxLive: maxLive, Assignment: make([]int, n)}
+	for i := range res.Assignment {
+		res.Assignment[i] = -1
+	}
+
+	degree := make([]int, n)
+	var nodes []ir.RegID
+	for r := 0; r < n; r++ {
+		if everLive[r] {
+			nodes = append(nodes, ir.RegID(r))
+			degree[r] = len(adj[r])
+			res.Edges += len(adj[r])
+		}
+	}
+	res.Edges /= 2
+	res.Nodes = len(nodes)
+	if res.Nodes == 0 {
+		return res
+	}
+
+	// Simplify: repeatedly push a minimum-degree node.
+	removed := make([]bool, n)
+	stack := make([]ir.RegID, 0, len(nodes))
+	remaining := len(nodes)
+	for remaining > 0 {
+		best := ir.NoReg
+		for _, r := range nodes {
+			if removed[r] {
+				continue
+			}
+			if best == ir.NoReg || degree[r] < degree[best] {
+				best = r
+			}
+		}
+		removed[best] = true
+		remaining--
+		stack = append(stack, best)
+		for nb := range adj[best] {
+			if !removed[nb] {
+				degree[nb]--
+			}
+		}
+	}
+
+	// Select: color in reverse removal order with the lowest free color.
+	for i := len(stack) - 1; i >= 0; i-- {
+		r := stack[i]
+		used := make(map[int]bool, len(adj[r]))
+		for nb := range adj[r] {
+			if c := res.Assignment[nb]; c >= 0 {
+				used[c] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		res.Assignment[r] = c
+		if c+1 > res.Colors {
+			res.Colors = c + 1
+		}
+	}
+	return res
+}
+
+func sameSet(a, b map[ir.RegID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for r := range a {
+		if !b[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllocateProgram colors every function and returns results keyed by
+// function name, plus a deterministic name order for reporting.
+func AllocateProgram(prog *ir.Program) (map[string]*Result, []string) {
+	results := make(map[string]*Result, len(prog.Funcs))
+	var names []string
+	for _, f := range prog.Funcs {
+		results[f.Name] = Allocate(f)
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	return results, names
+}

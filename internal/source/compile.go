@@ -1,0 +1,18 @@
+package source
+
+import "repro/internal/ir"
+
+// Compile parses, checks, and lowers mini-C source text to an IR
+// program. It is the convenience entry point used by the examples, the
+// benchmark harness, and the command-line tools.
+func Compile(src string) (*ir.Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	checked, err := Check(file)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(checked)
+}

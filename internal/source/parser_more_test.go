@@ -1,0 +1,217 @@
+package source
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestParseAllAssignmentOperators(t *testing.T) {
+	file, err := Parse(`
+void main() {
+	int a = 10;
+	a += 1; a -= 2; a *= 3; a /= 4; a %= 5;
+	a++; a--; ++a; --a;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := file.Funcs[0].Body
+	ops := []string{}
+	for _, s := range body.Stmts[1:] {
+		ops = append(ops, s.(*AssignStmt).Op)
+	}
+	want := []string{"+=", "-=", "*=", "/=", "%=", "++", "--", "++", "--"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestParseDanglingElse(t *testing.T) {
+	file, err := Parse(`
+void main() {
+	int a = 0;
+	if (1)
+		if (2) a = 1;
+		else a = 2;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := file.Funcs[0].Body.Stmts[1].(*IfStmt)
+	if outer.Else != nil {
+		t.Fatal("else bound to outer if; must bind to nearest")
+	}
+	inner := outer.Then.(*IfStmt)
+	if inner.Else == nil {
+		t.Fatal("inner if lost its else")
+	}
+}
+
+func TestParseUnaryChains(t *testing.T) {
+	file, err := Parse(`void main() { int a = - - 5; int b = !!1; int c = ~~0; print(a+b+c); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := file.Funcs[0].Body.Stmts[0].(*DeclStmt)
+	u1, ok := decl.Init.(*UnaryExpr)
+	if !ok || u1.Op != "-" {
+		t.Fatalf("init = %#v", decl.Init)
+	}
+	if u2, ok := u1.X.(*UnaryExpr); !ok || u2.Op != "-" {
+		t.Fatalf("inner = %#v", u1.X)
+	}
+}
+
+func TestParseVoidParamList(t *testing.T) {
+	file, err := Parse(`int f(void) { return 1; } void main() { print(f()); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(file.Funcs[0].Params) != 0 {
+		t.Fatalf("params = %v, want none", file.Funcs[0].Params)
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	srcs := []string{
+		`void main() { for (;;) { break; } }`,
+		`void main() { int i; for (i = 0; ; i++) { if (i > 3) break; } }`,
+		`void main() { for (int i = 0; i < 3; ) { i++; } }`,
+		`void main() { int i = 0; for (; i < 3; i++) ; }`,
+	}
+	for _, src := range srcs {
+		if _, err := Compile(src); err != nil {
+			t.Errorf("Compile(%q): %v", src, err)
+		}
+	}
+}
+
+func TestCheckerShadowingAcrossScopes(t *testing.T) {
+	// The same name in sibling scopes must resolve to distinct symbols.
+	file, err := Parse(`
+void main() {
+	{ int v = 1; print(v); }
+	{ int v = 2; print(v); }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := Check(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decls := map[*DeclStmt]bool{}
+	for d := range checked.Decls {
+		decls[d] = true
+	}
+	if len(decls) != 2 {
+		t.Fatalf("decl symbols = %d, want 2", len(decls))
+	}
+}
+
+func TestLowerDoWhileShape(t *testing.T) {
+	prog := mustCompile(t, `
+int g;
+void main() {
+	int i = 0;
+	do { g++; i++; } while (i < 5);
+}`)
+	main := prog.Func("main")
+	// do-while: the body block must be reachable without passing the
+	// condition first — entry's successor chain reaches the store
+	// before any branch.
+	visited := map[*ir.Block]bool{}
+	b := main.Entry()
+	sawStore := false
+	for !visited[b] {
+		visited[b] = true
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpStore {
+				sawStore = true
+			}
+			if in.Op == ir.OpBr && !sawStore {
+				t.Fatal("condition evaluated before first body execution")
+			}
+		}
+		if len(b.Succs) == 0 {
+			break
+		}
+		b = b.Succs[0]
+	}
+	if !sawStore {
+		t.Fatal("store not found on straight-line path")
+	}
+}
+
+func TestLowerBreakContinueTargets(t *testing.T) {
+	prog := mustCompile(t, `
+int g;
+void main() {
+	int i;
+	for (i = 0; i < 10; i++) {
+		if (i == 2) continue;
+		if (i == 5) break;
+		g++;
+	}
+	print(g);
+}`)
+	// Semantics validated elsewhere; here: CFG is well formed and has
+	// no unreachable garbage after lowering cleanup.
+	main := prog.Func("main")
+	if err := main.Verify(ir.VerifyCFG); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerGlobalInitializerNegative(t *testing.T) {
+	prog := mustCompile(t, `
+int neg = -17;
+void main() { print(neg); }`)
+	g := prog.FindGlobal("neg")
+	if g == nil || len(g.Init) != 1 || g.Init[0] != -17 {
+		t.Fatalf("init = %+v", g)
+	}
+}
+
+func TestCompileRejectsDeepPointerTypes(t *testing.T) {
+	if _, err := Compile(`void main() { int** p; }`); err == nil {
+		t.Fatal("int** accepted; only single-level pointers exist in mini-C")
+	}
+}
+
+func TestLocalArrayAndStruct(t *testing.T) {
+	prog := mustCompile(t, `
+struct pt { int x; int y; };
+void main() {
+	int buf[4];
+	struct pt p;
+	buf[0] = 1;
+	p.x = 2;
+	p.y = buf[0] + p.x;
+	print(p.y);
+}`)
+	main := prog.Func("main")
+	if len(main.Slots) != 2 {
+		t.Fatalf("slots = %v, want buf and p", main.Slots)
+	}
+	var arr, st *ir.Slot
+	for _, s := range main.Slots {
+		if s.IsArray {
+			arr = s
+		} else {
+			st = s
+		}
+	}
+	if arr == nil || arr.Size != 4 {
+		t.Errorf("array slot = %+v", arr)
+	}
+	if st == nil || st.Size != 2 || st.FieldNames == nil {
+		t.Errorf("struct slot = %+v", st)
+	}
+}

@@ -1,0 +1,196 @@
+package ssa
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// buildUnversioned constructs a function where every reference to
+// global x still uses version 0, with multiple definitions:
+//
+//	b0: store x = 1; br -> b1, b2
+//	b1: store x = 2; jmp b3
+//	b2: load x (sees the b0 store); jmp b3
+//	b3: load x (needs a phi); ret
+func buildUnversioned(t *testing.T) (*ir.Function, ir.ResourceID, map[string]*ir.Instr) {
+	t.Helper()
+	p := ir.NewProgram()
+	g := p.AddGlobal("x", 1, false, nil)
+	f := ir.NewFunction(p, "conv")
+	base := f.AddResource("x", ir.ResScalar, ir.GlobalLoc(g, 0))
+	cond := f.NewReg("c")
+	f.Params = []ir.RegID{cond}
+
+	b0, b1, b2, b3 := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	ir.AddEdge(b0, b1)
+	ir.AddEdge(b0, b2)
+	ir.AddEdge(b1, b3)
+	ir.AddEdge(b2, b3)
+
+	instrs := map[string]*ir.Instr{}
+	store := func(blk *ir.Block, val int64, name string) {
+		st := ir.NewInstr(ir.OpStore, ir.NoReg, ir.ConstVal(val))
+		st.Loc = ir.GlobalLoc(g, 0)
+		st.MemDefs = []ir.MemRef{{Res: base.ID}}
+		blk.Append(st)
+		instrs[name] = st
+	}
+	load := func(blk *ir.Block, name string) {
+		r := f.NewReg("")
+		ld := ir.NewInstr(ir.OpLoad, r)
+		ld.Loc = ir.GlobalLoc(g, 0)
+		ld.MemUses = []ir.MemRef{{Res: base.ID}}
+		blk.Append(ld)
+		instrs[name] = ld
+	}
+
+	store(b0, 1, "st0")
+	b0.Append(ir.NewInstr(ir.OpBr, ir.NoReg, ir.RegVal(cond)))
+	store(b1, 2, "st1")
+	b1.Append(ir.NewInstr(ir.OpJmp, ir.NoReg))
+	load(b2, "ld2")
+	b2.Append(ir.NewInstr(ir.OpJmp, ir.NoReg))
+	load(b3, "ld3")
+	b3.Append(ir.NewInstr(ir.OpRet, ir.NoReg))
+
+	return f, base.ID, instrs
+}
+
+func TestConvertResourceToSSA(t *testing.T) {
+	f, base, instrs := buildUnversioned(t)
+	dom := cfg.BuildDomTree(f)
+	df := cfg.BuildDomFrontiers(dom)
+
+	n, err := ConvertResourceToSSA(f, dom, df, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("versioned %d definitions, want 2", n)
+	}
+
+	v0 := instrs["st0"].MemDefs[0].Res
+	v1 := instrs["st1"].MemDefs[0].Res
+	if f.Res(v0).Version == 0 || f.Res(v1).Version == 0 || v0 == v1 {
+		t.Fatalf("stores not distinctly versioned: %s, %s", f.Res(v0), f.Res(v1))
+	}
+	// The load in b2 sees the b0 store directly.
+	if got := instrs["ld2"].MemUses[0].Res; got != v0 {
+		t.Errorf("load in b2 uses %s, want %s", f.Res(got), f.Res(v0))
+	}
+	// The load at the join must use a phi merging both stores.
+	join := instrs["ld3"].Parent
+	var phi *ir.Instr
+	for _, in := range join.Phis() {
+		if in.Op == ir.OpMemPhi {
+			phi = in
+		}
+	}
+	if phi == nil {
+		t.Fatalf("no memphi at join:\n%s", f)
+	}
+	if instrs["ld3"].MemUses[0].Res != phi.MemDefs[0].Res {
+		t.Error("join load not renamed to phi target")
+	}
+	ops := map[ir.ResourceID]bool{}
+	for _, u := range phi.MemUses {
+		ops[u.Res] = true
+	}
+	if !ops[v0] || !ops[v1] {
+		t.Errorf("phi merges %v, want {%s, %s}", ops, f.Res(v0), f.Res(v1))
+	}
+
+	if err := f.Verify(ir.VerifySSA); err != nil {
+		t.Fatalf("post-convert: %v\n%s", err, f)
+	}
+	if err := VerifyDominance(f); err != nil {
+		t.Fatalf("post-convert dominance: %v", err)
+	}
+}
+
+func TestConvertResourceNoDefs(t *testing.T) {
+	p := ir.NewProgram()
+	g := p.AddGlobal("x", 1, false, nil)
+	f := ir.NewFunction(p, "nd")
+	base := f.AddResource("x", ir.ResScalar, ir.GlobalLoc(g, 0))
+	b := f.NewBlock()
+	r := f.NewReg("")
+	ld := ir.NewInstr(ir.OpLoad, r)
+	ld.Loc = ir.GlobalLoc(g, 0)
+	ld.MemUses = []ir.MemRef{{Res: base.ID}}
+	b.Append(ld)
+	b.Append(ir.NewInstr(ir.OpRet, ir.NoReg))
+
+	dom := cfg.BuildDomTree(f)
+	df := cfg.BuildDomFrontiers(dom)
+	n, err := ConvertResourceToSSA(f, dom, df, base.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("versioned %d defs in def-free function", n)
+	}
+	if ld.MemUses[0].Res != base.ID {
+		t.Error("live-in use must keep version 0")
+	}
+}
+
+func TestConvertRejectsVersionedInput(t *testing.T) {
+	p := ir.NewProgram()
+	g := p.AddGlobal("x", 1, false, nil)
+	f := ir.NewFunction(p, "rv")
+	base := f.AddResource("x", ir.ResScalar, ir.GlobalLoc(g, 0))
+	v := f.NewVersion(base.ID)
+	b := f.NewBlock()
+	b.Append(ir.NewInstr(ir.OpRet, ir.NoReg))
+	dom := cfg.BuildDomTree(f)
+	df := cfg.BuildDomFrontiers(dom)
+	if _, err := ConvertResourceToSSA(f, dom, df, v.ID); err == nil {
+		t.Fatal("conversion accepted a non-base resource")
+	}
+}
+
+func TestConvertLoopCarried(t *testing.T) {
+	// Def inside a loop, use after: conversion must create the header
+	// phi merging live-in and the loop def.
+	p := ir.NewProgram()
+	g := p.AddGlobal("x", 1, false, nil)
+	f := ir.NewFunction(p, "loop")
+	base := f.AddResource("x", ir.ResScalar, ir.GlobalLoc(g, 0))
+	cond := f.NewReg("c")
+	f.Params = []ir.RegID{cond}
+
+	b0, b1, b2, b3 := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	ir.AddEdge(b0, b1)
+	ir.AddEdge(b1, b2)
+	ir.AddEdge(b2, b1)
+	ir.AddEdge(b2, b3)
+
+	b0.Append(ir.NewInstr(ir.OpJmp, ir.NoReg))
+	b1.Append(ir.NewInstr(ir.OpJmp, ir.NoReg))
+	st := ir.NewInstr(ir.OpStore, ir.NoReg, ir.ConstVal(7))
+	st.Loc = ir.GlobalLoc(g, 0)
+	st.MemDefs = []ir.MemRef{{Res: base.ID}}
+	b2.Append(st)
+	b2.Append(ir.NewInstr(ir.OpBr, ir.NoReg, ir.RegVal(cond)))
+	r := f.NewReg("")
+	ld := ir.NewInstr(ir.OpLoad, r)
+	ld.Loc = ir.GlobalLoc(g, 0)
+	ld.MemUses = []ir.MemRef{{Res: base.ID}}
+	b3.Append(ld)
+	b3.Append(ir.NewInstr(ir.OpRet, ir.NoReg))
+
+	dom := cfg.BuildDomTree(f)
+	df := cfg.BuildDomFrontiers(dom)
+	if _, err := ConvertResourceToSSA(f, dom, df, base.ID); err != nil {
+		t.Fatal(err)
+	}
+	if f.Res(ld.MemUses[0].Res).Version == 0 {
+		t.Errorf("loop exit load still uses version 0:\n%s", f)
+	}
+	if err := VerifyDominance(f); err != nil {
+		t.Fatalf("post-convert: %v\n%s", err, f)
+	}
+}

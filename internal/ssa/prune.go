@@ -1,0 +1,129 @@
+package ssa
+
+import "repro/internal/ir"
+
+// PruneTrivialPhis removes phi and memphi instructions whose operands
+// (ignoring self-references) are all the same value, rewriting their
+// uses to that value. It iterates to a fixed point, since removing one
+// trivial phi can make another trivial, and returns the number of phis
+// removed. Memory phis merging a single resource version arise routinely
+// from pessimistic phi placement; keeping them would distort the
+// promotion algorithm's SSA webs, so Build always prunes.
+func PruneTrivialPhis(f *ir.Function) int {
+	removed := 0
+	for {
+		regRepl := make(map[ir.RegID]ir.Value)
+		resRepl := make(map[ir.ResourceID]ir.ResourceID)
+		var dead []*ir.Instr
+
+		for _, b := range f.Blocks {
+			for _, phi := range b.Phis() {
+				switch phi.Op {
+				case ir.OpPhi:
+					if v, ok := trivialRegPhi(phi); ok {
+						regRepl[phi.Dst] = v
+						dead = append(dead, phi)
+					}
+				case ir.OpMemPhi:
+					if r, ok := trivialMemPhi(phi); ok {
+						resRepl[phi.MemDefs[0].Res] = r
+						dead = append(dead, phi)
+					}
+				}
+			}
+		}
+		if len(dead) == 0 {
+			return removed
+		}
+		// Resolve replacement chains (a phi may map to another dead
+		// phi's target).
+		resolveReg := func(v ir.Value) ir.Value {
+			for !v.IsConst() {
+				next, ok := regRepl[v.Reg()]
+				if !ok {
+					return v
+				}
+				v = next
+			}
+			return v
+		}
+		resolveRes := func(r ir.ResourceID) ir.ResourceID {
+			for {
+				next, ok := resRepl[r]
+				if !ok {
+					return r
+				}
+				r = next
+			}
+		}
+
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for i, a := range in.Args {
+					if !a.IsConst() {
+						if v, ok := regRepl[a.Reg()]; ok {
+							in.Args[i] = resolveReg(v)
+						}
+					}
+				}
+				for i := range in.MemUses {
+					if r, ok := resRepl[in.MemUses[i].Res]; ok {
+						in.MemUses[i].Res = resolveRes(r)
+					}
+				}
+			}
+		}
+		for _, phi := range dead {
+			phi.Parent.Remove(phi)
+			removed++
+		}
+	}
+}
+
+// trivialRegPhi reports whether phi merges a single distinct value and
+// returns it. A phi all of whose operands are itself never executes
+// meaningfully; it maps to the constant 0.
+func trivialRegPhi(phi *ir.Instr) (ir.Value, bool) {
+	var uniq ir.Value
+	found := false
+	for _, a := range phi.Args {
+		if a.IsReg(phi.Dst) {
+			continue // self-reference
+		}
+		if !found {
+			uniq = a
+			found = true
+			continue
+		}
+		if a != uniq {
+			return ir.Value{}, false
+		}
+	}
+	if !found {
+		return ir.ConstVal(0), true
+	}
+	return uniq, true
+}
+
+// trivialMemPhi reports whether a memphi merges a single distinct
+// resource version and returns it.
+func trivialMemPhi(phi *ir.Instr) (ir.ResourceID, bool) {
+	self := phi.MemDefs[0].Res
+	uniq := ir.NoResource
+	for _, u := range phi.MemUses {
+		if u.Res == self {
+			continue
+		}
+		if uniq == ir.NoResource {
+			uniq = u.Res
+			continue
+		}
+		if u.Res != uniq {
+			return ir.NoResource, false
+		}
+	}
+	if uniq == ir.NoResource {
+		return ir.NoResource, false // all-self memphi: keep (degenerate)
+	}
+	return uniq, true
+}

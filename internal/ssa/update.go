@@ -1,0 +1,283 @@
+package ssa
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// UpdateForClonedResources is the paper's incremental SSA update for
+// cloned definitions (its updateSSAForClonedResources, Figure 11).
+//
+// oldRes is a set of resource versions already under SSA form, all
+// renamed from the same base name; cloned is a set of new versions of
+// the same base whose defining instructions have already been inserted
+// into the code stream (for register promotion these are the
+// compensation stores; loop unrolling would pass the duplicated
+// definitions). The update:
+//
+//  1. collects the definition blocks of old and cloned resources,
+//     computes their iterated dominance frontier in one batch, and
+//     places a fresh memphi at each frontier block;
+//  2. renames every use of an old resource to its reaching definition,
+//     found by walking backward in the block and then up the dominator
+//     tree;
+//  3. fills the operands of phis that uses made live, propagating
+//     liveness through newly reached phis (a phi operand counts as a
+//     use at the end of its predecessor);
+//  4. deletes every definition left without uses — dead old stores,
+//     dead cloned stores, and redundant inserted phis — iterating so
+//     cascading deadness is also removed. Only direct stores and
+//     memphis are deleted; aliased definitions (calls, pointer stores)
+//     merely keep their dead version.
+//
+// The batch IDF over all definition sites is what makes this cheaper
+// than updating one definition at a time as in Choi–Sarkar–Schonberg;
+// step 4 is why the paper can promise that cloning introduces no dead
+// code.
+//
+// It returns the set of memphi instructions it inserted and left alive.
+func UpdateForClonedResources(f *ir.Function, dom *cfg.DomTree, df cfg.DomFrontiers, oldRes, cloned []ir.ResourceID) ([]*ir.Instr, error) {
+	if len(oldRes) == 0 {
+		return nil, fmt.Errorf("ssa: update with empty oldRes set")
+	}
+	base := f.BaseOf(oldRes[0]).ID
+	for _, r := range append(append([]ir.ResourceID(nil), oldRes...), cloned...) {
+		if f.BaseOf(r).ID != base {
+			return nil, fmt.Errorf("ssa: update resources span different bases (%s vs %s)",
+				f.Res(base), f.BaseOf(r))
+		}
+	}
+
+	u := &updater{
+		f:    f,
+		dom:  dom,
+		base: base,
+		old:  make(map[ir.ResourceID]bool, len(oldRes)),
+		all:  make(map[ir.ResourceID]bool, len(oldRes)+len(cloned)),
+	}
+	for _, r := range oldRes {
+		u.old[r] = true
+		u.all[r] = true
+	}
+	for _, r := range cloned {
+		u.all[r] = true
+	}
+
+	// Step 1: batch phi placement at the IDF of every definition block.
+	var defBlocks []*ir.Block
+	seen := make(map[*ir.Block]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, d := range in.MemDefs {
+				if u.all[d.Res] && !seen[b] {
+					seen[b] = true
+					defBlocks = append(defBlocks, b)
+				}
+			}
+		}
+	}
+	newPhis := make(map[*ir.Instr]bool)
+	for _, jb := range cfg.IteratedDF(df, defBlocks) {
+		if dom.RPOIndex(jb) < 0 {
+			continue
+		}
+		target := f.NewVersion(base)
+		phi := ir.NewInstr(ir.OpMemPhi, ir.NoReg)
+		phi.MemDefs = []ir.MemRef{{Res: target.ID}}
+		phi.MemUses = make([]ir.MemRef, len(jb.Preds))
+		for i := range phi.MemUses {
+			phi.MemUses[i] = ir.MemRef{Res: base} // placeholder until filled
+		}
+		jb.InsertPhi(phi)
+		newPhis[phi] = true
+		u.all[target.ID] = true
+	}
+	u.indexDefs()
+
+	// Step 2: rename uses of old resources to their reaching defs.
+	live := make(map[*ir.Instr]bool)
+	var work []*ir.Instr
+	enqueue := func(def ir.ResourceID) {
+		if phi := u.defInstr[def]; phi != nil && newPhis[phi] && !live[phi] {
+			live[phi] = true
+			work = append(work, phi)
+		}
+	}
+	for _, b := range f.Blocks {
+		if dom.RPOIndex(b) < 0 {
+			continue
+		}
+		for idx, in := range b.Instrs {
+			if newPhis[in] {
+				continue // operands are filled in step 3
+			}
+			for i := range in.MemUses {
+				if !u.old[in.MemUses[i].Res] {
+					continue
+				}
+				var rdef ir.ResourceID
+				if in.Op == ir.OpMemPhi {
+					pred := b.Preds[i]
+					rdef = u.reachingDef(pred, len(pred.Instrs))
+				} else {
+					rdef = u.reachingDef(b, idx)
+				}
+				if rdef != in.MemUses[i].Res {
+					in.MemUses[i].Res = rdef
+				}
+				enqueue(rdef)
+			}
+		}
+	}
+
+	// Step 3: fill the operands of live new phis, propagating liveness.
+	for len(work) > 0 {
+		phi := work[len(work)-1]
+		work = work[:len(work)-1]
+		b := phi.Parent
+		for pi, pred := range b.Preds {
+			rdef := u.reachingDefExcluding(pred, len(pred.Instrs), phi)
+			phi.MemUses[pi].Res = rdef
+			enqueue(rdef)
+		}
+	}
+
+	// Unreached new phis are dead; remove them before counting uses so
+	// their placeholder operands do not hold other defs alive.
+	var alive []*ir.Instr
+	for phi := range newPhis {
+		if !live[phi] {
+			delete(u.all, phi.MemDefs[0].Res)
+			phi.Parent.Remove(phi)
+		}
+	}
+
+	// Step 4: delete definitions without uses. A plain use count cannot
+	// retire cycles of mutually-referencing dead phis (a loop header phi
+	// and a join phi feeding each other), so liveness is computed by
+	// mark and sweep: a version is live when a non-phi instruction uses
+	// it, or when a memphi whose own target is live uses it. The sweep
+	// must see every memphi in the function — phis outside the updated
+	// family (for example an enclosing loop's header phi) legitimately
+	// keep cloned definitions alive.
+	u.indexDefs()
+	allPhiDefs := make(map[ir.ResourceID]*ir.Instr)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpMemPhi {
+				allPhiDefs[in.MemDefs[0].Res] = in
+			}
+		}
+	}
+	liveRes := make(map[ir.ResourceID]bool)
+	var resWork []ir.ResourceID
+	markRes := func(r ir.ResourceID) {
+		if !liveRes[r] {
+			liveRes[r] = true
+			resWork = append(resWork, r)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpMemPhi {
+				continue
+			}
+			for _, use := range in.MemUses {
+				markRes(use.Res)
+			}
+		}
+	}
+	for len(resWork) > 0 {
+		r := resWork[len(resWork)-1]
+		resWork = resWork[:len(resWork)-1]
+		if phi := allPhiDefs[r]; phi != nil {
+			for _, use := range phi.MemUses {
+				markRes(use.Res)
+			}
+		}
+	}
+	for res := range u.all {
+		if liveRes[res] {
+			continue
+		}
+		in := u.defInstr[res]
+		if in == nil || in.Parent == nil {
+			continue
+		}
+		switch in.Op {
+		case ir.OpMemPhi, ir.OpStore:
+			in.Parent.Remove(in)
+			delete(newPhis, in)
+		}
+	}
+	for phi := range newPhis {
+		if phi.Parent != nil && live[phi] {
+			alive = append(alive, phi)
+		}
+	}
+	return alive, nil
+}
+
+type updater struct {
+	f    *ir.Function
+	dom  *cfg.DomTree
+	base ir.ResourceID
+	old  map[ir.ResourceID]bool
+	all  map[ir.ResourceID]bool
+
+	defInstr map[ir.ResourceID]*ir.Instr
+}
+
+func (u *updater) indexDefs() {
+	u.defInstr = make(map[ir.ResourceID]*ir.Instr)
+	for _, b := range u.f.Blocks {
+		for _, in := range b.Instrs {
+			for _, d := range in.MemDefs {
+				if u.all[d.Res] {
+					u.defInstr[d.Res] = in
+				}
+			}
+		}
+	}
+}
+
+// reachingDef is the paper's computeReachingDef: the nearest definition
+// of any resource in the tracked set that precedes position (blk, idx),
+// found by scanning backward in the block and then walking the dominator
+// tree toward the root. If no definition reaches, the base's live-in
+// version 0 is returned.
+func (u *updater) reachingDef(blk *ir.Block, idx int) ir.ResourceID {
+	return u.reachingDefExcluding(blk, idx, nil)
+}
+
+// reachingDefExcluding is reachingDef but skips the definition made by
+// skip. Filling a phi's operand from a predecessor must not see the
+// phi itself (possible when the predecessor is the phi's own block in a
+// self-loop).
+func (u *updater) reachingDefExcluding(blk *ir.Block, idx int, skip *ir.Instr) ir.ResourceID {
+	for b := blk; ; {
+		instrs := b.Instrs
+		limit := len(instrs)
+		if b == blk {
+			limit = idx
+		}
+		for i := limit - 1; i >= 0; i-- {
+			in := instrs[i]
+			if in == skip {
+				continue
+			}
+			for _, d := range in.MemDefs {
+				if u.all[d.Res] {
+					return d.Res
+				}
+			}
+		}
+		next := u.dom.Idom(b)
+		if next == nil || next == b {
+			return u.base // live-in version 0
+		}
+		b = next
+	}
+}

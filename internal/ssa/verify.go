@@ -1,0 +1,115 @@
+package ssa
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// VerifyDominance checks the full SSA discipline of f: single
+// definitions (delegated to ir.Verify), plus the requirement that every
+// definition dominates each of its uses — with phi operands counted as
+// uses at the end of the corresponding predecessor. Memory resource
+// versions are checked with the same rule; version 0 resources are
+// live-in and treated as defined at entry.
+func VerifyDominance(f *ir.Function) error {
+	if err := f.Verify(ir.VerifySSA); err != nil {
+		return err
+	}
+	dom := cfg.BuildDomTree(f)
+
+	type defSite struct {
+		blk *ir.Block
+		idx int
+	}
+	regDef := make(map[ir.RegID]defSite)
+	resDef := make(map[ir.ResourceID]defSite)
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.HasDst() {
+				regDef[in.Dst] = defSite{b, i}
+			}
+			for _, d := range in.MemDefs {
+				resDef[d.Res] = defSite{b, i}
+			}
+		}
+	}
+	for _, p := range f.Params {
+		regDef[p] = defSite{f.Entry(), -1}
+	}
+
+	// dominatesUse reports whether a definition site dominates a use at
+	// (blk, idx); phi uses pass the predecessor end as the use site.
+	dominatesUse := func(def defSite, blk *ir.Block, idx int) bool {
+		if def.blk == blk {
+			return def.idx < idx
+		}
+		return dom.Dominates(def.blk, blk)
+	}
+
+	for _, b := range f.Blocks {
+		if dom.RPOIndex(b) < 0 {
+			continue // unreachable; not subject to dominance
+		}
+		for i, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				for pi, a := range in.Args {
+					if a.IsConst() {
+						continue
+					}
+					def, ok := regDef[a.Reg()]
+					if !ok {
+						return fmt.Errorf("%s: phi r%d operand r%d has no definition", f.Name, in.Dst, a.Reg())
+					}
+					pred := b.Preds[pi]
+					if !dominatesUse(def, pred, len(pred.Instrs)) {
+						return fmt.Errorf("%s: def of r%d does not dominate phi use via %v", f.Name, a.Reg(), pred)
+					}
+				}
+				continue
+			}
+			if in.Op == ir.OpMemPhi {
+				for pi, u := range in.MemUses {
+					if f.Res(u.Res).Version == 0 {
+						continue
+					}
+					def, ok := resDef[u.Res]
+					if !ok {
+						return fmt.Errorf("%s: memphi operand %s has no definition", f.Name, f.Res(u.Res))
+					}
+					pred := b.Preds[pi]
+					if !dominatesUse(def, pred, len(pred.Instrs)) {
+						return fmt.Errorf("%s: def of %s does not dominate memphi use via %v", f.Name, f.Res(u.Res), pred)
+					}
+				}
+				continue
+			}
+			for _, a := range in.Args {
+				if a.IsConst() {
+					continue
+				}
+				def, ok := regDef[a.Reg()]
+				if !ok {
+					return fmt.Errorf("%s: r%d used in %v without definition", f.Name, a.Reg(), b)
+				}
+				if !dominatesUse(def, b, i) {
+					return fmt.Errorf("%s: def of r%d does not dominate use in %v (%s)", f.Name, a.Reg(), b, in.Op)
+				}
+			}
+			for _, u := range in.MemUses {
+				if f.Res(u.Res).Version == 0 {
+					continue
+				}
+				def, ok := resDef[u.Res]
+				if !ok {
+					return fmt.Errorf("%s: %s used in %v without definition", f.Name, f.Res(u.Res), b)
+				}
+				if !dominatesUse(def, b, i) {
+					return fmt.Errorf("%s: def of %s does not dominate use in %v (%s)", f.Name, f.Res(u.Res), b, in.Op)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// TestPipelineDeterministic: the full pipeline must produce bit-equal
+// transformed programs across runs — no map iteration order may leak
+// into web processing, phi placement, or cleanup. The printed IR is the
+// canonical form compared.
+func TestPipelineDeterministic(t *testing.T) {
+	for _, w := range workload.Suite() {
+		t.Run(w.Name, func(t *testing.T) {
+			dump := func() string {
+				out, err := pipeline.Run(w.Src, pipeline.Options{
+					SkipMeasurement: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out.Prog.String()
+			}
+			first := dump()
+			for i := 0; i < 3; i++ {
+				if again := dump(); again != first {
+					t.Fatalf("run %d produced different IR", i+2)
+				}
+			}
+		})
+	}
+}
+
+// TestGeneratedPipelineDeterministic repeats the check on generated
+// programs, which exercise shapes the workloads do not.
+func TestGeneratedPipelineDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		src := workload.Generate(workload.DefaultGenConfig(seed))
+		dump := func() string {
+			out, err := pipeline.Run(src, pipeline.Options{
+				StaticProfile:   true,
+				SkipMeasurement: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out.Prog.String()
+		}
+		first := dump()
+		if again := dump(); again != first {
+			t.Fatalf("seed %d: nondeterministic pipeline", seed)
+		}
+	}
+}

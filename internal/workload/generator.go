@@ -1,0 +1,275 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenConfig parameterizes random program generation. The generator
+// produces deterministic, terminating mini-C programs: every loop has a
+// fixed iteration count, divisions and shifts use safe constants, array
+// indexes are reduced modulo the array size, and helper functions only
+// call helpers with lower indexes (so there is no recursion). Pointers
+// are used only in the restricted pattern the alias model supports
+// (p = &scalar; *p as a load or store).
+type GenConfig struct {
+	Seed       int64
+	NumGlobals int     // global scalar count (>= 1)
+	NumArrays  int     // global array count
+	NumHelpers int     // helper functions besides main
+	MaxStmts   int     // statements per block
+	MaxDepth   int     // nesting depth of loops/ifs
+	CallChance float64 // probability a statement is a helper call
+	PtrChance  float64 // probability a function uses a pointer
+	LoopMax    int     // maximum loop trip count
+}
+
+// DefaultGenConfig returns a balanced configuration for the given seed.
+func DefaultGenConfig(seed int64) GenConfig {
+	return GenConfig{
+		Seed:       seed,
+		NumGlobals: 6,
+		NumArrays:  2,
+		NumHelpers: 3,
+		MaxStmts:   5,
+		MaxDepth:   2,
+		CallChance: 0.12,
+		PtrChance:  0.3,
+		LoopMax:    8,
+	}
+}
+
+// Generate produces a random mini-C program.
+func Generate(cfg GenConfig) string {
+	if cfg.NumGlobals < 1 {
+		cfg.NumGlobals = 1
+	}
+	if cfg.MaxStmts < 1 {
+		cfg.MaxStmts = 1
+	}
+	if cfg.LoopMax < 1 {
+		cfg.LoopMax = 1
+	}
+	g := &generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return g.program()
+}
+
+type generator struct {
+	cfg GenConfig
+	rng *rand.Rand
+	sb  strings.Builder
+
+	indent int
+	// locals in scope of the function being generated.
+	locals []string
+	// loopVars tracks loop counters usable as reads.
+	loopVars []string
+	nextVar  int
+	usesPtr  bool
+}
+
+func (g *generator) w(format string, args ...any) {
+	g.sb.WriteString(strings.Repeat("\t", g.indent))
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteString("\n")
+}
+
+func (g *generator) global(i int) string { return fmt.Sprintf("g%d", i) }
+func (g *generator) array(i int) string  { return fmt.Sprintf("arr%d", i) }
+func (g *generator) helper(i int) string { return fmt.Sprintf("helper%d", i) }
+
+const arraySize = 16
+
+func (g *generator) program() string {
+	for i := 0; i < g.cfg.NumGlobals; i++ {
+		g.w("int %s = %d;", g.global(i), g.rng.Intn(100))
+	}
+	for i := 0; i < g.cfg.NumArrays; i++ {
+		g.w("int %s[%d];", g.array(i), arraySize)
+	}
+	for i := 0; i < g.cfg.NumHelpers; i++ {
+		g.function(g.helper(i), i)
+	}
+	g.function("main", g.cfg.NumHelpers)
+	return g.sb.String()
+}
+
+// function emits a void function that may call helpers with index below
+// maxCallee (no recursion possible). Helpers get shallow bodies so the
+// total step count stays bounded even when calls sit inside nested
+// loops in main.
+func (g *generator) function(name string, maxCallee int) {
+	g.locals = nil
+	g.loopVars = nil
+	g.nextVar = 0
+	g.usesPtr = g.rng.Float64() < g.cfg.PtrChance && g.cfg.NumGlobals > 0
+
+	g.w("void %s() {", name)
+	g.indent++
+	nLocals := 1 + g.rng.Intn(3)
+	for i := 0; i < nLocals; i++ {
+		v := g.freshVar()
+		g.locals = append(g.locals, v)
+		g.w("int %s = %d;", v, g.rng.Intn(50))
+	}
+	if g.usesPtr {
+		g.w("int* ptr = &%s;", g.global(g.rng.Intn(g.cfg.NumGlobals)))
+	}
+	depth := g.cfg.MaxDepth
+	if name != "main" {
+		depth = 1
+	}
+	g.block(depth, maxCallee)
+	if name == "main" {
+		for i := 0; i < g.cfg.NumGlobals; i++ {
+			g.w("print(%s);", g.global(i))
+		}
+		for _, v := range g.locals {
+			g.w("print(%s);", v)
+		}
+	}
+	g.indent--
+	g.w("}")
+}
+
+func (g *generator) freshVar() string {
+	v := fmt.Sprintf("v%d", g.nextVar)
+	g.nextVar++
+	return v
+}
+
+func (g *generator) block(depth, maxCallee int) {
+	n := 1 + g.rng.Intn(g.cfg.MaxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt(depth, maxCallee)
+	}
+}
+
+func (g *generator) stmt(depth, maxCallee int) {
+	roll := g.rng.Float64()
+	switch {
+	case roll < g.cfg.CallChance && maxCallee > 0:
+		g.w("%s();", g.helper(g.rng.Intn(maxCallee)))
+	case roll < 0.45 || depth == 0:
+		g.assign()
+	case roll < 0.7:
+		// Bounded for loop over a fresh counter.
+		v := g.freshVar()
+		trip := 1 + g.rng.Intn(g.cfg.LoopMax)
+		g.w("for (int %s = 0; %s < %d; %s++) {", v, v, trip, v)
+		g.indent++
+		g.loopVars = append(g.loopVars, v)
+		g.block(depth-1, maxCallee)
+		g.loopVars = g.loopVars[:len(g.loopVars)-1]
+		g.indent--
+		g.w("}")
+	case roll < 0.9:
+		g.w("if (%s) {", g.cond())
+		g.indent++
+		g.block(depth-1, maxCallee)
+		g.indent--
+		if g.rng.Intn(2) == 0 {
+			g.w("} else {")
+			g.indent++
+			g.block(depth-1, maxCallee)
+			g.indent--
+		}
+		g.w("}")
+	default:
+		// While loop with a decreasing local: always terminates.
+		v := g.freshVar()
+		g.w("int %s = %d;", v, 1+g.rng.Intn(g.cfg.LoopMax))
+		g.w("while (%s > 0) {", v)
+		g.indent++
+		g.loopVars = append(g.loopVars, v)
+		g.block(depth-1, maxCallee)
+		g.loopVars = g.loopVars[:len(g.loopVars)-1]
+		g.w("%s = %s - 1;", v, v)
+		g.indent--
+		g.w("}")
+	}
+}
+
+// assign writes to a random global, local, array element, or pointer
+// target.
+func (g *generator) assign() {
+	roll := g.rng.Float64()
+	switch {
+	case g.usesPtr && roll < 0.1:
+		g.w("*ptr = %s;", g.expr(2))
+	case roll < 0.55:
+		target := g.global(g.rng.Intn(g.cfg.NumGlobals))
+		switch g.rng.Intn(4) {
+		case 0:
+			g.w("%s = %s;", target, g.expr(2))
+		case 1:
+			g.w("%s += %s;", target, g.expr(1))
+		case 2:
+			g.w("%s++;", target)
+		default:
+			g.w("%s = %s %% 9973;", target, g.expr(2))
+		}
+	case roll < 0.8 && len(g.locals) > 0:
+		target := g.locals[g.rng.Intn(len(g.locals))]
+		g.w("%s = %s;", target, g.expr(2))
+	case g.cfg.NumArrays > 0:
+		arr := g.array(g.rng.Intn(g.cfg.NumArrays))
+		// Double-mod keeps the index in range even for negative values
+		// (mini-C % truncates toward zero, like C).
+		g.w("%s[((%s) %% %d + %d) %% %d] = %s;",
+			arr, g.expr(1), arraySize, arraySize, arraySize, g.expr(2))
+	default:
+		target := g.global(g.rng.Intn(g.cfg.NumGlobals))
+		g.w("%s = %s;", target, g.expr(2))
+	}
+}
+
+// expr builds a side-effect-free expression of bounded depth.
+func (g *generator) expr(depth int) string {
+	if depth == 0 {
+		return g.atom()
+	}
+	switch g.rng.Intn(7) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.expr(depth-1), g.expr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.expr(depth-1), g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.expr(depth-1), g.atom())
+	case 3:
+		return fmt.Sprintf("(%s / %d)", g.expr(depth-1), 1+g.rng.Intn(9))
+	case 4:
+		return fmt.Sprintf("(%s %% %d)", g.expr(depth-1), 2+g.rng.Intn(97))
+	case 5:
+		return fmt.Sprintf("(%s ^ %s)", g.expr(depth-1), g.atom())
+	default:
+		return g.atom()
+	}
+}
+
+func (g *generator) atom() string {
+	choices := 3
+	if g.usesPtr {
+		choices = 4
+	}
+	switch g.rng.Intn(choices) {
+	case 0:
+		return fmt.Sprintf("%d", g.rng.Intn(200))
+	case 1:
+		return g.global(g.rng.Intn(g.cfg.NumGlobals))
+	case 2:
+		pool := append(append([]string(nil), g.locals...), g.loopVars...)
+		if len(pool) == 0 {
+			return fmt.Sprintf("%d", g.rng.Intn(200))
+		}
+		return pool[g.rng.Intn(len(pool))]
+	default:
+		return "(*ptr)"
+	}
+}
+
+func (g *generator) cond() string {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	return fmt.Sprintf("%s %s %s", g.atom(), ops[g.rng.Intn(len(ops))], g.atom())
+}

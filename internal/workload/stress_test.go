@@ -1,0 +1,78 @@
+package workload_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// TestLargeGeneratedProgramCompileTime: the whole pipeline (without
+// measurement runs) must chew through a deliberately large generated
+// program quickly — a guard against accidental quadratic blowups in
+// SSA construction, web building, or the incremental update.
+func TestLargeGeneratedProgramCompileTime(t *testing.T) {
+	cfg := workload.GenConfig{
+		Seed:       7,
+		NumGlobals: 20,
+		NumArrays:  4,
+		NumHelpers: 10,
+		MaxStmts:   8,
+		MaxDepth:   3,
+		CallChance: 0.08,
+		PtrChance:  0.4,
+		LoopMax:    6,
+	}
+	src := workload.Generate(cfg)
+	if len(src) < 5000 {
+		t.Fatalf("stress program too small (%d bytes); raise generator knobs", len(src))
+	}
+	start := time.Now()
+	out, err := pipeline.Run(src, pipeline.Options{
+		StaticProfile:   true,
+		SkipMeasurement: true,
+	})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	elapsed := time.Since(start)
+	if elapsed > 10*time.Second {
+		t.Errorf("pipeline took %v on a %d-byte program", elapsed, len(src))
+	}
+	t.Logf("compiled+promoted %d bytes in %v; webs considered %d",
+		len(src), elapsed, out.TotalStats.WebsConsidered)
+}
+
+// TestManySeedsCompile compiles a spread of generated programs with
+// promotion to catch rare shapes; semantics are covered by the quick
+// properties, so measurement is skipped for speed.
+func TestManySeedsCompile(t *testing.T) {
+	n := int64(120)
+	if testing.Short() {
+		n = 20
+	}
+	for seed := int64(100); seed < 100+n; seed++ {
+		src := workload.Generate(workload.DefaultGenConfig(seed))
+		if _, err := pipeline.Run(src, pipeline.Options{
+			StaticProfile:   true,
+			SkipMeasurement: true,
+		}); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+func TestWorkloadDescriptions(t *testing.T) {
+	for _, w := range workload.Suite() {
+		if w.Name == "" || w.Description == "" || len(w.Src) < 100 {
+			t.Errorf("workload %q underspecified", w.Name)
+		}
+	}
+	if _, ok := workload.ByName("go"); !ok {
+		t.Error("ByName(go) failed")
+	}
+	if _, ok := workload.ByName("nope"); ok {
+		t.Error("ByName(nope) should fail")
+	}
+}

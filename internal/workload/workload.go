@@ -1,0 +1,515 @@
+// Package workload supplies the benchmark programs of the reproduction:
+// eight synthetic mini-C programs standing in for the SPECInt95
+// components the paper evaluates on, plus a seeded random program
+// generator for property and stress testing.
+//
+// Each workload is engineered to the access-pattern profile that shapes
+// the paper's per-benchmark numbers, not to the SPEC source itself:
+// what matters for the tables is how often hot loops touch global
+// scalars directly versus through calls and pointers. The names follow
+// the paper's Table 1/2 rows.
+package workload
+
+// Workload is one benchmark program.
+type Workload struct {
+	// Name is the SPECInt95-analogue identifier used in tables.
+	Name string
+	// Description says which access pattern the program models.
+	Description string
+	// Src is the mini-C source text.
+	Src string
+}
+
+// Suite returns the eight benchmark programs in the paper's table
+// order.
+func Suite() []Workload {
+	return []Workload{
+		{
+			Name: "go",
+			Description: "game engine: many hot global scalar counters updated in " +
+				"nested board-scan loops, calls only on rare events — the paper's " +
+				"best case (its go promotes freelist, mvp, ...)",
+			Src: srcGo,
+		},
+		{
+			Name: "li",
+			Description: "interpreter with recursive evaluation: global heap counters " +
+				"touched between moderately frequent calls",
+			Src: srcLi,
+		},
+		{
+			Name: "ijpeg",
+			Description: "image codec: load-heavy inner loops reading global parameters " +
+				"per pixel, results written to arrays — big load win, few stores killed",
+			Src: srcIjpeg,
+		},
+		{
+			Name: "perl",
+			Description: "bytecode interpreter: dispatch loop with helper calls on " +
+				"several opcodes — modest improvement",
+			Src: srcPerl,
+		},
+		{
+			Name: "m88ksim",
+			Description: "CPU simulator: fetch/decode loop updating global machine state " +
+				"with execute helpers called per instruction",
+			Src: srcM88ksim,
+		},
+		{
+			Name: "sc",
+			Description: "spreadsheet recalculation: relaxation sweeps over a cell array " +
+				"with global accumulators and occasional pointer references",
+			Src: srcSc,
+		},
+		{
+			Name: "compress",
+			Description: "tiny kernel: few globals, small static footprint — little to " +
+				"promote, near-zero change",
+			Src: srcCompress,
+		},
+		{
+			Name: "vortex",
+			Description: "call-dense object store: nearly every loop body calls into " +
+				"accessors, leaving promotion almost no room — the paper's worst case",
+			Src: srcVortex,
+		},
+	}
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range Suite() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+const srcGo = `
+// go-analogue: board scanning with hot global counters.
+int board[361];
+int liberties;
+int captures;
+int territory;
+int influence;
+int mvp;
+int freelist;
+int moves;
+int passes;
+
+void rare_event() {
+	captures = captures + 1;
+	freelist = freelist - 1;
+}
+
+void place_stones() {
+	int i;
+	for (i = 0; i < 361; i++) {
+		board[i] = (i * 7 + 3) % 5;
+	}
+}
+
+void scan_board() {
+	int i;
+	for (i = 0; i < 361; i++) {
+		int v = board[i];
+		liberties = liberties + (v == 0);
+		territory = territory + (v == 1) * 2;
+		influence = influence + v * (i % 3);
+		mvp = mvp + (influence > territory);
+		if (liberties % 251 == 250) rare_event();
+	}
+}
+
+void evaluate() {
+	int pass;
+	for (pass = 0; pass < 40; pass++) {
+		scan_board();
+		moves = moves + 1;
+		freelist = freelist + (moves % 2);
+		if (pass == 39) passes = passes + 1;
+	}
+}
+
+void main() {
+	place_stones();
+	evaluate();
+	print(liberties);
+	print(captures);
+	print(territory);
+	print(influence);
+	print(mvp);
+	print(freelist);
+	print(moves);
+}
+`
+
+const srcLi = `
+// li-analogue: list interpreter with recursion and global heap state.
+int car[512];
+int cdr[512];
+int heap_top;
+int conses;
+int evals;
+int gc_runs;
+
+int cons(int a, int d) {
+	car[heap_top] = a;
+	cdr[heap_top] = d;
+	heap_top = heap_top + 1;
+	conses = conses + 1;
+	if (heap_top >= 500) {
+		heap_top = 1;
+		gc_runs = gc_runs + 1;
+	}
+	return heap_top - 1;
+}
+
+int build_list(int n) {
+	if (n == 0) return 0;
+	return cons(n, build_list(n - 1));
+}
+
+int sum_list(int cell) {
+	int total = 0;
+	while (cell != 0) {
+		evals = evals + 1;
+		total = total + car[cell];
+		cell = cdr[cell];
+	}
+	return total;
+}
+
+void main() {
+	int round;
+	int checksum = 0;
+	for (round = 0; round < 60; round++) {
+		int lst = build_list(20);
+		checksum = checksum + sum_list(lst);
+		evals = evals + 1;
+	}
+	print(checksum);
+	print(conses);
+	print(evals);
+	print(gc_runs);
+	print(heap_top);
+}
+`
+
+const srcIjpeg = `
+// ijpeg-analogue: per-pixel loops reading global parameters — loads
+// dominate, stores go to the (unpromotable) image array.
+int image[1024];
+int quant[64];
+int quality;
+int offset;
+int scale;
+int clip_lo;
+int clip_hi;
+int out_checksum;
+
+void init_tables() {
+	int i;
+	quality = 75;
+	offset = 128;
+	scale = 3;
+	clip_lo = 0;
+	clip_hi = 255;
+	for (i = 0; i < 64; i++) {
+		quant[i] = 1 + (i * quality) / 50;
+	}
+	for (i = 0; i < 1024; i++) {
+		image[i] = (i * 31 + 7) % 256;
+	}
+}
+
+void transform_block(int base) {
+	int i;
+	for (i = 0; i < 64; i++) {
+		int px = image[base + i];
+		int q = quant[i];
+		int v = (px - offset) * scale / q + offset;
+		if (v < clip_lo) v = clip_lo;
+		if (v > clip_hi) v = clip_hi;
+		image[base + i] = v;
+	}
+}
+
+void main() {
+	init_tables();
+	int block;
+	int pass;
+	for (pass = 0; pass < 6; pass++) {
+		for (block = 0; block < 16; block++) {
+			transform_block(block * 64);
+		}
+	}
+	int i;
+	for (i = 0; i < 1024; i++) {
+		out_checksum = out_checksum + image[i] * (i % 7 + 1);
+	}
+	print(out_checksum);
+	print(quality);
+	print(scale);
+}
+`
+
+const srcPerl = `
+// perl-analogue: bytecode dispatch loop; several opcodes call helpers,
+// the rest update interpreter globals directly.
+int code[256];
+int stack[64];
+int sp;
+int acc;
+int pc;
+int steps;
+int string_ops;
+int hash_ops;
+
+void do_string_op() {
+	string_ops = string_ops + 1;
+	acc = acc * 2 + 1;
+}
+
+void do_hash_op() {
+	hash_ops = hash_ops + 1;
+	acc = acc ^ 21845;
+}
+
+void main() {
+	int i;
+	for (i = 0; i < 256; i++) {
+		code[i] = (i * 13 + 5) % 8;
+	}
+	sp = 0;
+	acc = 0;
+	int round;
+	for (round = 0; round < 120; round++) {
+		pc = 0;
+		while (pc < 256) {
+			int op = code[pc];
+			steps = steps + 1;
+			if (op == 0) { acc = acc + pc; }
+			else if (op == 1) { acc = acc - 3; }
+			else if (op == 2) {
+				if (sp < 63) { stack[sp] = acc; sp = sp + 1; }
+			}
+			else if (op == 3) {
+				if (sp > 0) { sp = sp - 1; acc = acc + stack[sp]; }
+			}
+			else if (op == 4) { do_string_op(); }
+			else if (op == 5) { acc = acc * 3 % 65537; }
+			else if (op == 6) { do_hash_op(); }
+			else { acc = acc ^ pc; }
+			pc = pc + 1;
+		}
+	}
+	print(acc);
+	print(steps);
+	print(string_ops);
+	print(hash_ops);
+	print(sp);
+}
+`
+
+const srcM88ksim = `
+// m88ksim-analogue: instruction-set simulator with global machine state
+// and per-instruction execute helpers.
+int regs[32];
+int memory[256];
+int pc;
+int cycles;
+int instret;
+int branches;
+int loadstores;
+int halted;
+
+void exec_alu(int rd, int rs, int imm) {
+	regs[rd] = regs[rs] + imm;
+	cycles = cycles + 1;
+}
+
+void exec_mem(int rd, int addr) {
+	if (addr >= 0) {
+		if (addr < 256) {
+			regs[rd] = memory[addr];
+			loadstores = loadstores + 1;
+		}
+	}
+	cycles = cycles + 2;
+}
+
+void exec_branch(int target, int cond) {
+	branches = branches + 1;
+	cycles = cycles + 1;
+	if (cond != 0) pc = target;
+}
+
+void main() {
+	int i;
+	for (i = 0; i < 256; i++) memory[i] = i * 3 % 97;
+	for (i = 0; i < 32; i++) regs[i] = 0;
+	pc = 0;
+	int fuel;
+	for (fuel = 0; fuel < 20000; fuel++) {
+		if (halted == 0) {
+			int word = memory[pc % 256];
+			int opcode = word % 4;
+			int rd = (word / 4) % 32;
+			int rs = (word / 128) % 32;
+			instret = instret + 1;
+			if (opcode == 0) { exec_alu(rd, rs, word % 11); }
+			else if (opcode == 1) { exec_mem(rd, (word * 7) % 256); }
+			else if (opcode == 2) { exec_branch((pc + word) % 256, rd % 2); }
+			else { cycles = cycles + 1; }
+			pc = pc + 1;
+			if (instret >= 15000) halted = 1;
+		}
+	}
+	print(cycles);
+	print(instret);
+	print(branches);
+	print(loadstores);
+	print(regs[5]);
+}
+`
+
+const srcSc = `
+// sc-analogue: spreadsheet relaxation sweeps with global accumulators
+// and a pointer-written status cell.
+int cells[400];
+int deps[400];
+int recalcs;
+int dirty;
+int sweeps;
+int status;
+
+void mark_dirty() {
+	dirty = dirty + 1;
+}
+
+void main() {
+	int i;
+	for (i = 0; i < 400; i++) {
+		cells[i] = i % 17;
+		deps[i] = (i * 3 + 1) % 400;
+	}
+	int* pstatus = &status;
+	int sweep;
+	for (sweep = 0; sweep < 25; sweep++) {
+		int changed = 0;
+		for (i = 0; i < 400; i++) {
+			int want = (cells[deps[i]] * 2 + i) % 101;
+			if (cells[i] != want) {
+				cells[i] = want;
+				recalcs = recalcs + 1;
+				changed = changed + 1;
+			}
+		}
+		sweeps = sweeps + 1;
+		if (changed > 390) mark_dirty();
+		if (sweep % 10 == 9) { *pstatus = sweeps * 1000 + recalcs % 1000; }
+	}
+	int checksum = 0;
+	for (i = 0; i < 400; i++) checksum = checksum + cells[i] * (i % 5 + 1);
+	print(checksum);
+	print(recalcs);
+	print(sweeps);
+	print(dirty);
+	print(status);
+}
+`
+
+const srcCompress = `
+// compress-analogue: tiny kernel, few globals, small static footprint.
+int htab[256];
+int in_count;
+int out_count;
+int checksum;
+
+void main() {
+	int i;
+	int state = 12345;
+	for (i = 0; i < 4000; i++) {
+		state = (state * 1103515245 + 12345) % 2147483647;
+		int sym = state % 256;
+		int slot = sym % 256;
+		if (htab[slot] == sym) {
+			out_count = out_count + 1;
+		} else {
+			htab[slot] = sym;
+			out_count = out_count + 2;
+		}
+		in_count = in_count + 1;
+		checksum = (checksum + sym) % 65536;
+	}
+	print(in_count);
+	print(out_count);
+	print(checksum);
+}
+`
+
+const srcVortex = `
+// vortex-analogue: object store where every hot loop body calls
+// accessors — aliased references everywhere, promotion starved.
+int objects[512];
+int links[512];
+int num_objects;
+int lookups;
+int inserts;
+int deletes;
+int generation;
+
+int hash_key(int key) {
+	return (key * 2654435761) % 512;
+}
+
+void insert_object(int key, int value) {
+	int h = hash_key(key);
+	if (h < 0) h = -h;
+	objects[h % 512] = value;
+	links[h % 512] = key;
+	num_objects = num_objects + 1;
+	inserts = inserts + 1;
+	generation = generation + 1;
+}
+
+int lookup_object(int key) {
+	int h = hash_key(key);
+	if (h < 0) h = -h;
+	lookups = lookups + 1;
+	if (links[h % 512] == key) return objects[h % 512];
+	return 0;
+}
+
+void delete_object(int key) {
+	int h = hash_key(key);
+	if (h < 0) h = -h;
+	if (links[h % 512] == key) {
+		links[h % 512] = 0;
+		num_objects = num_objects - 1;
+		deletes = deletes + 1;
+	}
+	generation = generation + 1;
+}
+
+void main() {
+	int round;
+	int total = 0;
+	for (round = 0; round < 150; round++) {
+		int k;
+		for (k = 1; k < 40; k++) {
+			insert_object(k * 3 + round, k * round);
+			total = total + lookup_object(k * 3 + round);
+			if (k % 7 == 0) delete_object(k * 3 + round);
+		}
+	}
+	print(total);
+	print(num_objects);
+	print(lookups);
+	print(inserts);
+	print(deletes);
+	print(generation);
+}
+`

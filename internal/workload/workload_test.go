@@ -1,0 +1,157 @@
+package workload_test
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func TestSuiteCompilesAndRuns(t *testing.T) {
+	for _, w := range workload.Suite() {
+		t.Run(w.Name, func(t *testing.T) {
+			out, err := pipeline.Run(w.Src, pipeline.Options{Algorithm: pipeline.AlgNone})
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			if len(out.Before.Output) == 0 {
+				t.Fatalf("%s prints nothing; results unobservable", w.Name)
+			}
+		})
+	}
+}
+
+// TestSuitePromotionPreservesSemantics is the workhorse: every workload
+// must behave identically after promotion by either algorithm.
+func TestSuitePromotionPreservesSemantics(t *testing.T) {
+	for _, w := range workload.Suite() {
+		for _, alg := range []pipeline.Algorithm{pipeline.AlgSSA, pipeline.AlgBaseline} {
+			t.Run(w.Name+"/"+alg.String(), func(t *testing.T) {
+				out, err := pipeline.Run(w.Src, pipeline.Options{Algorithm: alg})
+				if err != nil {
+					t.Fatalf("%v", err)
+				}
+				if !reflect.DeepEqual(out.Before.Output, out.After.Output) {
+					t.Fatalf("output changed:\nbefore: %v\nafter:  %v",
+						out.Before.Output, out.After.Output)
+				}
+				if !reflect.DeepEqual(out.Before.Globals, out.After.Globals) {
+					t.Fatalf("memory image changed")
+				}
+			})
+		}
+	}
+}
+
+// TestSuiteShapes checks the qualitative per-benchmark behaviour the
+// paper reports: strong wins on go/ijpeg, near-nothing on vortex and
+// compress.
+func TestSuiteShapes(t *testing.T) {
+	improvement := func(name string) float64 {
+		w, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("no workload %s", name)
+		}
+		out, err := pipeline.Run(w.Src, pipeline.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		before := float64(out.Before.DynMemOps())
+		if before == 0 {
+			return 0
+		}
+		return (before - float64(out.After.DynMemOps())) / before * 100
+	}
+
+	goImp := improvement("go")
+	ijpegImp := improvement("ijpeg")
+	vortexImp := improvement("vortex")
+
+	if goImp < 15 {
+		t.Errorf("go-analogue improvement = %.1f%%, want >= 15%%", goImp)
+	}
+	if ijpegImp < 10 {
+		t.Errorf("ijpeg-analogue improvement = %.1f%%, want >= 10%%", ijpegImp)
+	}
+	if vortexImp > goImp/2 {
+		t.Errorf("vortex-analogue improvement %.1f%% should be far below go's %.1f%%",
+			vortexImp, goImp)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := workload.Generate(workload.DefaultGenConfig(42))
+	b := workload.Generate(workload.DefaultGenConfig(42))
+	if a != b {
+		t.Fatal("same seed produced different programs")
+	}
+	c := workload.Generate(workload.DefaultGenConfig(43))
+	if a == c {
+		t.Fatal("different seeds produced identical programs")
+	}
+}
+
+func TestGeneratedProgramsCompileAndRun(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		src := workload.Generate(workload.DefaultGenConfig(seed))
+		out, err := pipeline.Run(src, pipeline.Options{Algorithm: pipeline.AlgNone})
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		_ = out
+	}
+}
+
+// TestQuickPromotionSemantics is the property-based acid test: for
+// random seeds, the promoted program is observationally equivalent to
+// the original under both algorithms.
+func TestQuickPromotionSemantics(t *testing.T) {
+	property := func(seed int64) bool {
+		src := workload.Generate(workload.DefaultGenConfig(seed))
+		for _, alg := range []pipeline.Algorithm{pipeline.AlgSSA, pipeline.AlgBaseline} {
+			out, err := pipeline.Run(src, pipeline.Options{Algorithm: alg})
+			if err != nil {
+				t.Logf("seed %d (%v): %v\n%s", seed, alg, err, src)
+				return false
+			}
+			if !reflect.DeepEqual(out.Before.Output, out.After.Output) ||
+				!reflect.DeepEqual(out.Before.Globals, out.After.Globals) {
+				t.Logf("seed %d (%v): semantics changed\nbefore: %v\nafter: %v\n%s",
+					seed, alg, out.Before.Output, out.After.Output, src)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPaperFormulaSemantics re-runs the property with the paper's
+// exact profit formula (tail stores uncounted) — the formula changes
+// which webs promote, never correctness.
+func TestQuickPaperFormulaSemantics(t *testing.T) {
+	property := func(seed int64) bool {
+		src := workload.Generate(workload.DefaultGenConfig(seed))
+		out, err := pipeline.Run(src, pipeline.Options{PaperProfitFormula: true})
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(out.Before.Output, out.After.Output) &&
+			reflect.DeepEqual(out.Before.Globals, out.After.Globals)
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
