@@ -1,0 +1,25 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test vet race fuzz-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzzing pass over every native fuzz target. Each target runs
+# for $(FUZZTIME) (default 10s) on top of its seed corpus.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParser$$' -fuzztime $(FUZZTIME) ./internal/source
+	$(GO) test -run '^$$' -fuzz '^FuzzPipelineDifferential$$' -fuzztime $(FUZZTIME) ./internal/pipeline
+	$(GO) test -run '^$$' -fuzz '^FuzzPipelineFaults$$' -fuzztime $(FUZZTIME) ./internal/pipeline
+
+ci: vet race fuzz-smoke

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,12 +25,20 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run only the ablation comparisons")
 		static    = flag.Bool("static-profile", false, "use the static loop-depth profile estimator")
 		paper     = flag.Bool("paper-formula", false, "use the paper's exact profit formula")
+		check     = flag.String("check", "off", "pipeline self-checking level: off, boundaries, or paranoid")
+		failFast  = flag.Bool("failfast", false, "abort on the first stage failure instead of degrading the function")
 	)
 	flag.Parse()
 
+	checkLevel, err := pipeline.ParseCheckLevel(*check)
+	if err != nil {
+		fatal(err)
+	}
 	opts := report.Options{
 		StaticProfile:      *static,
 		PaperProfitFormula: *paper,
+		Check:              checkLevel,
+		FailFast:           *failFast,
 	}
 
 	if *ablations {
@@ -107,7 +116,14 @@ func runAblations() {
 	}
 }
 
+// fatal prints the error — stage failures as their structured one-line
+// message, never a raw panic trace — and exits non-zero.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rpbench:", err)
+	var se *pipeline.StageError
+	if errors.As(err, &se) {
+		fmt.Fprintln(os.Stderr, "rpbench:", se.Error())
+	} else {
+		fmt.Fprintln(os.Stderr, "rpbench:", err)
+	}
 	os.Exit(1)
 }

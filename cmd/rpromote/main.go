@@ -13,10 +13,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/pipeline"
 	"repro/internal/regalloc"
 	"repro/internal/workload"
@@ -34,8 +38,29 @@ func main() {
 		wholeFunc   = flag.Bool("whole-function", false, "promote at whole-function scope (the paper's rejected first approach)")
 		preMemOpts  = flag.Bool("memopts", false, "run memory-SSA scalar optimizations before promotion")
 		regPressure = flag.Bool("pressure", false, "report register pressure per function")
+		check       = flag.String("check", "off", "self-checking level: off, boundaries, or paranoid")
+		failFast    = flag.Bool("failfast", false, "abort on the first stage failure instead of degrading the function")
+		fault       = flag.String("fault", "", "inject a fault at stage[/func][:error|panic], e.g. promote/main:panic")
+		verbose     = flag.Bool("verbose-errors", false, "print the full stage failure report (stack and IR snapshot)")
 	)
 	flag.Parse()
+
+	checkLevel, err := pipeline.ParseCheckLevel(*check)
+	if err != nil {
+		fatal(err, *verbose)
+	}
+	var injector *faults.Injector
+	if *fault != "" {
+		plan, err := faults.ParsePlan(*fault)
+		if err != nil {
+			fatal(err, *verbose)
+		}
+		if !slices.Contains(pipeline.Stages(), plan.Stage) {
+			fatal(fmt.Errorf("unknown stage %q (want one of %s)",
+				plan.Stage, strings.Join(pipeline.Stages(), ", ")), *verbose)
+		}
+		injector = faults.New(plan)
+	}
 
 	if *list {
 		for _, w := range workload.Suite() {
@@ -46,7 +71,7 @@ func main() {
 
 	src, name, err := loadSource(*file, *wl)
 	if err != nil {
-		fatal(err)
+		fatal(err, *verbose)
 	}
 
 	var algorithm pipeline.Algorithm
@@ -60,7 +85,7 @@ func main() {
 	case "none":
 		algorithm = pipeline.AlgNone
 	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *alg))
+		fatal(fmt.Errorf("unknown algorithm %q", *alg), *verbose)
 	}
 
 	out, err := pipeline.Run(src, pipeline.Options{
@@ -69,12 +94,21 @@ func main() {
 		PaperProfitFormula: *paper,
 		WholeFunctionScope: *wholeFunc,
 		PreMemOpts:         *preMemOpts,
+		Check:              checkLevel,
+		FailFast:           *failFast,
+		Faults:             injector,
 	})
 	if err != nil {
-		fatal(err)
+		fatal(err, *verbose)
 	}
 
-	fmt.Printf("program: %s (algorithm: %s)\n\n", name, algorithm)
+	fmt.Printf("program: %s (algorithm: %s, check: %s)\n\n", name, algorithm, checkLevel)
+	for _, d := range out.Degraded {
+		fmt.Printf("DEGRADED %s at stage %s: %v\n", d.Func, d.Stage, d.Err.Err)
+	}
+	if len(out.Degraded) > 0 {
+		fmt.Println()
+	}
 	fmt.Printf("static  loads: %6d -> %6d    stores: %6d -> %6d\n",
 		out.StaticBefore.Loads, out.StaticAfter.Loads,
 		out.StaticBefore.Stores, out.StaticAfter.Stores)
@@ -162,7 +196,15 @@ func equalOutputs(out *pipeline.Outcome) bool {
 	return true
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rpromote:", err)
+// fatal prints the error and exits non-zero. Stage failures come out as
+// their structured one-line message; -verbose-errors adds the captured
+// stack and IR snapshot.
+func fatal(err error, verbose bool) {
+	var se *pipeline.StageError
+	if verbose && errors.As(err, &se) {
+		fmt.Fprintln(os.Stderr, "rpromote:", se.Detail())
+	} else {
+		fmt.Fprintln(os.Stderr, "rpromote:", err)
+	}
 	os.Exit(1)
 }

@@ -1,0 +1,204 @@
+// Package faults is a deterministic fault injector for testing the
+// pipeline's failure paths. A fault plan names a pipeline stage (and
+// optionally a function) at which the injector fires, either returning
+// an error or panicking — the two failure shapes a real compiler bug
+// produces. Because the pipeline consults the injector at every stage
+// boundary, every recovery and degradation path can be driven on
+// demand, deterministically, from a test or from the command line.
+//
+// Injection sites are identified by a (stage, function) pair; whole-
+// program stages use an empty function name. The injector also records
+// every site it was consulted at, so coverage tests can assert that a
+// run actually reached the stage they meant to break.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Mode selects how an injected fault manifests.
+type Mode int
+
+const (
+	// ModeError makes the stage return an error.
+	ModeError Mode = iota
+	// ModePanic makes the stage panic.
+	ModePanic
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModePanic {
+		return "panic"
+	}
+	return "error"
+}
+
+// Plan selects injection sites. A plan matches a site when the stage
+// names are equal and either the plan's Func is empty or equals the
+// site's function.
+type Plan struct {
+	// Stage is the pipeline stage to fault (required).
+	Stage string
+	// Func restricts the fault to one function; empty matches all.
+	Func string
+	// Mode is how the fault manifests (error or panic).
+	Mode Mode
+	// Count caps how many times this plan fires (0 = every match).
+	Count int
+}
+
+// String renders the plan in the stage[/func][:mode] syntax accepted by
+// ParsePlan.
+func (p Plan) String() string {
+	s := p.Stage
+	if p.Func != "" {
+		s += "/" + p.Func
+	}
+	return s + ":" + p.Mode.String()
+}
+
+// ParsePlan parses "stage[/func][:mode]", e.g. "promote/helper:panic".
+// The mode defaults to error.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	if mode, rest, ok := cutLast(s, ":"); ok {
+		switch rest {
+		case "error":
+			p.Mode = ModeError
+		case "panic":
+			p.Mode = ModePanic
+		default:
+			return p, fmt.Errorf("faults: unknown mode %q (want error or panic)", rest)
+		}
+		s = mode
+	}
+	if stage, fn, ok := strings.Cut(s, "/"); ok {
+		p.Stage, p.Func = stage, fn
+	} else {
+		p.Stage = s
+	}
+	if p.Stage == "" {
+		return p, fmt.Errorf("faults: empty stage in plan")
+	}
+	return p, nil
+}
+
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+// InjectedPanic is the value an injector panics with in ModePanic, so
+// recovery code and tests can recognize synthetic faults.
+type InjectedPanic struct {
+	Stage string
+	Func  string
+}
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("faults: injected panic at %s/%s", p.Stage, p.Func)
+}
+
+// Injector fires faults according to its plans. The zero value (and a
+// nil injector) never fires. Injector is safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	plans []Plan
+	fired int
+	seen  map[string]int // sites consulted, "stage/func" -> count
+}
+
+// New returns an injector with the given plans.
+func New(plans ...Plan) *Injector {
+	return &Injector{plans: plans, seen: make(map[string]int)}
+}
+
+// NewSeeded derives one plan deterministically from seed: it picks a
+// stage from stages and a mode from the seed's bits. Fuzzers and stress
+// tests use this to sweep the fault space reproducibly.
+func NewSeeded(seed int64, stages []string) *Injector {
+	rng := rand.New(rand.NewSource(seed))
+	p := Plan{Mode: Mode(rng.Intn(2))}
+	if len(stages) > 0 {
+		p.Stage = stages[rng.Intn(len(stages))]
+	}
+	return New(p)
+}
+
+// Fire is called by instrumented code at the injection site for the
+// given stage and function. It returns an error (ModeError) or panics
+// (ModePanic) when a plan matches, and returns nil otherwise. A nil
+// injector never fires.
+func (in *Injector) Fire(stage, fn string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	if in.seen == nil {
+		in.seen = make(map[string]int)
+	}
+	in.seen[stage+"/"+fn]++
+	var hit *Plan
+	for i := range in.plans {
+		p := &in.plans[i]
+		if p.Stage != stage || (p.Func != "" && p.Func != fn) {
+			continue
+		}
+		if p.Count < 0 { // exhausted
+			continue
+		}
+		hit = p
+		break
+	}
+	if hit == nil {
+		in.mu.Unlock()
+		return nil
+	}
+	if hit.Count > 0 {
+		hit.Count--
+		if hit.Count == 0 {
+			hit.Count = -1 // exhausted (0 means unlimited)
+		}
+	}
+	in.fired++
+	mode := hit.Mode
+	in.mu.Unlock()
+	if mode == ModePanic {
+		panic(InjectedPanic{Stage: stage, Func: fn})
+	}
+	return fmt.Errorf("faults: injected error at %s/%s", stage, fn)
+}
+
+// Fired reports how many faults the injector has injected.
+func (in *Injector) Fired() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Sites returns every "stage/func" site the injector was consulted at,
+// sorted, regardless of whether a fault fired there.
+func (in *Injector) Sites() []string {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	sites := make([]string, 0, len(in.seen))
+	for s := range in.seen {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	return sites
+}

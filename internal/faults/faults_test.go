@@ -1,0 +1,151 @@
+package faults_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func TestFireMatchesStageAndFunc(t *testing.T) {
+	in := faults.New(faults.Plan{Stage: "promote", Func: "helper"})
+	if err := in.Fire("promote", "main"); err != nil {
+		t.Fatalf("wrong function fired: %v", err)
+	}
+	if err := in.Fire("ssa-build", "helper"); err != nil {
+		t.Fatalf("wrong stage fired: %v", err)
+	}
+	if err := in.Fire("promote", "helper"); err == nil {
+		t.Fatal("matching site did not fire")
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", in.Fired())
+	}
+}
+
+func TestFireEmptyFuncMatchesAll(t *testing.T) {
+	in := faults.New(faults.Plan{Stage: "promote"})
+	if err := in.Fire("promote", "anything"); err == nil {
+		t.Fatal("wildcard function plan did not fire")
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	in := faults.New(faults.Plan{Stage: "promote", Mode: faults.ModePanic})
+	defer func() {
+		rec := recover()
+		ip, ok := rec.(faults.InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %v, want InjectedPanic", rec)
+		}
+		if ip.Stage != "promote" || ip.Func != "f" {
+			t.Fatalf("panic site = %+v", ip)
+		}
+	}()
+	in.Fire("promote", "f")
+	t.Fatal("ModePanic did not panic")
+}
+
+func TestCountCapsFirings(t *testing.T) {
+	in := faults.New(faults.Plan{Stage: "promote", Count: 2})
+	for i := 0; i < 5; i++ {
+		in.Fire("promote", "f")
+	}
+	if in.Fired() != 2 {
+		t.Fatalf("Fired() = %d, want 2", in.Fired())
+	}
+}
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *faults.Injector
+	if err := in.Fire("promote", "f"); err != nil {
+		t.Fatal("nil injector fired")
+	}
+	if in.Fired() != 0 || in.Sites() != nil {
+		t.Fatal("nil injector has state")
+	}
+}
+
+func TestSitesRecorded(t *testing.T) {
+	in := faults.New()
+	in.Fire("compile", "")
+	in.Fire("promote", "main")
+	in.Fire("promote", "main")
+	got := in.Sites()
+	want := []string{"compile/", "promote/main"}
+	if len(got) != len(want) {
+		t.Fatalf("Sites() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sites() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	cases := []struct {
+		in   string
+		want faults.Plan
+		err  bool
+	}{
+		{in: "promote", want: faults.Plan{Stage: "promote"}},
+		{in: "promote:panic", want: faults.Plan{Stage: "promote", Mode: faults.ModePanic}},
+		{in: "promote/helper:error", want: faults.Plan{Stage: "promote", Func: "helper"}},
+		{in: "ssa-build/f", want: faults.Plan{Stage: "ssa-build", Func: "f"}},
+		{in: "promote:bogus", err: true},
+		{in: ":panic", err: true},
+		{in: "", err: true},
+	}
+	for _, c := range cases {
+		got, err := faults.ParsePlan(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParsePlan(%q) succeeded, want error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParsePlan(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		if rt, err := faults.ParsePlan(got.String()); err != nil || rt != got {
+			t.Errorf("round-trip of %q via %q failed: %+v, %v", c.in, got.String(), rt, err)
+		}
+	}
+}
+
+func TestNewSeededIsDeterministic(t *testing.T) {
+	stages := []string{"compile", "promote", "destruct"}
+	a := faults.NewSeeded(42, stages)
+	b := faults.NewSeeded(42, stages)
+	// Both must fire (or not) identically across all sites.
+	for _, st := range stages {
+		ea := fireOutcome(a, st)
+		eb := fireOutcome(b, st)
+		if ea != eb {
+			t.Fatalf("seeded injectors disagree at %s: %q vs %q", st, ea, eb)
+		}
+	}
+	if a.Fired() == 0 {
+		t.Fatal("seeded injector never fired on its own stage list")
+	}
+}
+
+func fireOutcome(in *faults.Injector, stage string) (outcome string) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			outcome = "panic"
+		}
+	}()
+	if err := in.Fire(stage, "f"); err != nil {
+		if !strings.Contains(err.Error(), stage) {
+			return "error-wrong-site"
+		}
+		return "error"
+	}
+	return "none"
+}

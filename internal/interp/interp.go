@@ -18,6 +18,7 @@ package interp
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/ir"
 	"repro/internal/profile"
@@ -33,6 +34,10 @@ type Options struct {
 	// MaxOutput bounds the number of printed values retained (0 means
 	// one million; execution continues but further output is dropped).
 	MaxOutput int
+	// Timeout bounds the wall-clock duration of the run (0 means no
+	// limit). The clock is checked every few thousand steps, so the
+	// overrun is bounded and the common case costs nothing.
+	Timeout time.Duration
 	// CollectProfile enables block/edge profile recording.
 	CollectProfile bool
 }
@@ -84,6 +89,9 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 		opts:   opts,
 		result: &Result{OpCounts: make(map[ir.Op]int64)},
 	}
+	if opts.Timeout > 0 {
+		m.deadline = time.Now().Add(opts.Timeout)
+	}
 	if opts.CollectProfile {
 		m.result.Profile = profile.NewProfile()
 	}
@@ -112,7 +120,23 @@ type machine struct {
 
 	mem        []int64
 	globalBase map[*ir.Global]int64
-	sp         int64 // next free stack address
+	sp         int64     // next free stack address
+	deadline   time.Time // wall-clock bound; zero means none
+}
+
+// timeoutCheckInterval is how many steps pass between wall-clock
+// checks: frequent enough that overruns stay in the low milliseconds,
+// rare enough that time.Now stays off the hot path.
+const timeoutCheckInterval = 1 << 14
+
+// checkDeadline enforces the wall-clock bound; called every
+// timeoutCheckInterval steps.
+func (m *machine) checkDeadline() error {
+	if !m.deadline.IsZero() && time.Now().After(m.deadline) {
+		return fmt.Errorf("interp: wall-clock timeout %v exceeded after %d steps",
+			m.opts.Timeout, m.result.Steps)
+	}
+	return nil
 }
 
 func (m *machine) layoutGlobals() {
@@ -243,6 +267,11 @@ func (m *machine) call(f *ir.Function, args []int64, depth int) (int64, error) {
 			m.result.Steps++
 			if m.result.Steps > m.opts.MaxSteps {
 				return 0, fmt.Errorf("interp: step limit %d exceeded", m.opts.MaxSteps)
+			}
+			if m.result.Steps%timeoutCheckInterval == 0 {
+				if err := m.checkDeadline(); err != nil {
+					return 0, err
+				}
 			}
 			m.result.OpCounts[in.Op]++
 

@@ -1,0 +1,91 @@
+package ir
+
+import (
+	"maps"
+	"slices"
+)
+
+// Clone returns a deep copy of the function: blocks, instructions, CFG
+// edges, stack slots, and the memory resource table are all fresh
+// objects, while program-level state (the Prog pointer and Global
+// objects referenced by memory locations) stays shared. Block IDs,
+// register numbers, and resource IDs are preserved, so a clone prints
+// identically to the original.
+//
+// The clone is not registered in the program; it serves as a shadow
+// copy — the pipeline snapshots each function before transforming it
+// and swaps the snapshot back in with Program.ReplaceFunction when a
+// transformation stage fails.
+func (f *Function) Clone() *Function {
+	nf := &Function{
+		Name:      f.Name,
+		Params:    slices.Clone(f.Params),
+		Prog:      f.Prog,
+		NumRegs:   f.NumRegs,
+		regNames:  slices.Clone(f.regNames),
+		nextBlock: f.nextBlock,
+	}
+	if f.maxVer != nil {
+		nf.maxVer = maps.Clone(f.maxVer)
+	}
+
+	slotMap := make(map[*Slot]*Slot, len(f.Slots))
+	for _, s := range f.Slots {
+		ns := &Slot{
+			Name:       s.Name,
+			Size:       s.Size,
+			IsArray:    s.IsArray,
+			FieldNames: slices.Clone(s.FieldNames),
+			AddrTaken:  s.AddrTaken,
+			Escapes:    s.Escapes,
+		}
+		slotMap[s] = ns
+		nf.Slots = append(nf.Slots, ns)
+	}
+	remapLoc := func(l MemLoc) MemLoc {
+		if l.Kind == LocSlot {
+			l.Slot = slotMap[l.Slot]
+		}
+		return l
+	}
+
+	nf.Resources = make([]*Resource, len(f.Resources))
+	for i, r := range f.Resources {
+		nr := *r
+		nr.Loc = remapLoc(nr.Loc)
+		nf.Resources[i] = &nr
+	}
+
+	blockMap := make(map[*Block]*Block, len(f.Blocks))
+	nf.Blocks = make([]*Block, len(f.Blocks))
+	for i, b := range f.Blocks {
+		nb := &Block{ID: b.ID, Func: nf}
+		blockMap[b] = nb
+		nf.Blocks[i] = nb
+	}
+	for _, b := range f.Blocks {
+		nb := blockMap[b]
+		nb.Preds = make([]*Block, len(b.Preds))
+		for i, p := range b.Preds {
+			nb.Preds[i] = blockMap[p]
+		}
+		nb.Succs = make([]*Block, len(b.Succs))
+		for i, s := range b.Succs {
+			nb.Succs[i] = blockMap[s]
+		}
+		nb.Instrs = make([]*Instr, len(b.Instrs))
+		for i, in := range b.Instrs {
+			nb.Instrs[i] = &Instr{
+				Op:      in.Op,
+				Dst:     in.Dst,
+				Args:    slices.Clone(in.Args),
+				Callee:  in.Callee,
+				Loc:     remapLoc(in.Loc),
+				MemDefs: slices.Clone(in.MemDefs),
+				MemUses: slices.Clone(in.MemUses),
+				Parent:  nb,
+			}
+		}
+	}
+	return nf
+}

@@ -192,6 +192,27 @@ func (p *Program) AddFunction(f *Function) {
 	p.funcsByName[f.Name] = f
 }
 
+// ReplaceFunction substitutes nf for the registered function of the same
+// name, preserving its position in Funcs. Calls are linked by name, so
+// every call site picks up the replacement automatically. The pipeline
+// uses this to swap a pre-transformation snapshot back in when a stage
+// fails on one function.
+func (p *Program) ReplaceFunction(nf *Function) {
+	old := p.funcsByName[nf.Name]
+	if old == nil {
+		p.AddFunction(nf)
+		return
+	}
+	for i, f := range p.Funcs {
+		if f == old {
+			p.Funcs[i] = nf
+			break
+		}
+	}
+	p.funcsByName[nf.Name] = nf
+	nf.Prog = p
+}
+
 // Func returns the function with the given name, or nil.
 func (p *Program) Func(name string) *Function {
 	return p.funcsByName[name]

@@ -1,0 +1,94 @@
+package pipeline_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/interp"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// FuzzPipelineDifferential generates a random deterministic mini-C
+// program from the seeded workload generator and runs it through all
+// four algorithms at the paranoid check level. The contract is the
+// paper's ground truth: no panic escapes the pipeline, nothing
+// degrades on a healthy program, and every algorithm's transformed
+// program produces exactly the baseline's output.
+func FuzzPipelineDifferential(f *testing.F) {
+	f.Add(int64(1), byte(3), byte(2), byte(2), byte(30))
+	f.Add(int64(7), byte(0), byte(0), byte(1), byte(0))
+	f.Add(int64(42), byte(2), byte(1), byte(3), byte(80))
+	f.Add(int64(1998), byte(4), byte(2), byte(2), byte(50))
+	f.Add(int64(-3), byte(1), byte(2), byte(1), byte(99))
+	f.Fuzz(func(t *testing.T, seed int64, helpers, arrays, depth, ptrPct byte) {
+		cfg := workload.DefaultGenConfig(seed)
+		cfg.NumHelpers = int(helpers % 5)
+		cfg.NumArrays = int(arrays % 3)
+		cfg.MaxDepth = 1 + int(depth%3)
+		cfg.PtrChance = float64(ptrPct%101) / 100
+		src := workload.Generate(cfg)
+
+		bounded := interp.Options{MaxSteps: 20_000_000, Timeout: 20 * time.Second}
+		var want []int64
+		for _, alg := range []pipeline.Algorithm{
+			pipeline.AlgNone, pipeline.AlgSSA, pipeline.AlgBaseline, pipeline.AlgMemOpt,
+		} {
+			out, err := pipeline.Run(src, pipeline.Options{
+				Algorithm: alg,
+				Check:     pipeline.CheckParanoid,
+				Interp:    bounded,
+			})
+			if err != nil {
+				t.Fatalf("%v: %v\nsource:\n%s", alg, err, src)
+			}
+			if len(out.Degraded) != 0 {
+				t.Fatalf("%v degraded a healthy program: %v\nsource:\n%s", alg, out.Degraded, src)
+			}
+			if !reflect.DeepEqual(out.Before.Output, out.After.Output) {
+				t.Fatalf("%v changed output: %v vs %v\nsource:\n%s",
+					alg, out.Before.Output, out.After.Output, src)
+			}
+			if want == nil {
+				want = out.Before.Output
+			} else if !reflect.DeepEqual(want, out.Before.Output) {
+				t.Fatalf("%v baseline disagrees across algorithms: %v vs %v\nsource:\n%s",
+					alg, want, out.Before.Output, src)
+			}
+		}
+	})
+}
+
+// FuzzPipelineFaults composes the generator with the seeded fault
+// injector: a random program, a random fault in a random stage, at the
+// paranoid check level. Whatever happens, Run must not panic and must
+// leave a trace — a structured error or a recorded degradation.
+func FuzzPipelineFaults(f *testing.F) {
+	f.Add(int64(1), int64(1))
+	f.Add(int64(5), int64(9))
+	f.Add(int64(1998), int64(0))
+	f.Fuzz(func(t *testing.T, progSeed, faultSeed int64) {
+		cfg := workload.DefaultGenConfig(progSeed)
+		cfg.NumHelpers = 2
+		src := workload.Generate(cfg)
+		inj := faults.NewSeeded(faultSeed, pipeline.Stages())
+		out, err := pipeline.Run(src, pipeline.Options{
+			PreMemOpts: true,
+			Check:      pipeline.CheckParanoid,
+			Faults:     inj,
+			Interp:     interp.Options{MaxSteps: 20_000_000, Timeout: 20 * time.Second},
+		})
+		if inj.Fired() == 0 {
+			return // fault stage not reached for this program shape
+		}
+		if err == nil && (out == nil || len(out.Degraded) == 0) {
+			t.Fatalf("fault fired but left no trace (seeds %d/%d)", progSeed, faultSeed)
+		}
+		if err == nil && out.Before != nil && out.After != nil &&
+			!reflect.DeepEqual(out.Before.Output, out.After.Output) {
+			t.Fatalf("degraded run changed output (seeds %d/%d)", progSeed, faultSeed)
+		}
+	})
+}

@@ -9,6 +9,16 @@
 // source twice: once to measure the baseline program and once to build
 // the promoted program, so before/after comparisons run the same input
 // on genuinely independent programs.
+//
+// Every phase of the flow runs as a named, panic-isolated stage: a
+// panicking or erring stage becomes a structured *StageError instead of
+// killing the process. Per-function stages additionally degrade
+// gracefully — the pipeline snapshots each function before transforming
+// it, and a failure rolls that one function back to its unpromoted IR,
+// records a Degradation in the Outcome, and keeps compiling the rest of
+// the program. Options.Check turns on stage-boundary re-verification
+// and a paranoid semantic differential check; Options.Faults injects
+// deterministic failures so the recovery paths themselves stay tested.
 package pipeline
 
 import (
@@ -18,6 +28,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cfg"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/opt"
@@ -86,11 +97,26 @@ type Options struct {
 	// CountTailStores is forwarded to core.Config (default true unless
 	// PaperProfitFormula is set).
 	PaperProfitFormula bool
-	// Interp bounds the measurement runs.
+	// Interp bounds the training, measurement, and differential-check
+	// runs: MaxSteps caps executed instructions and Timeout caps
+	// wall-clock time, so a runaway program fails the run instead of
+	// hanging the harness.
 	Interp interp.Options
 	// SkipMeasurement skips the before/after interpreter runs (the
 	// caller only wants the transformed program and static counts).
 	SkipMeasurement bool
+	// Check selects how much self-checking runs during transformation:
+	// stage-boundary IR verification (CheckBoundaries) and the
+	// whole-program semantic differential check (CheckParanoid).
+	Check CheckLevel
+	// FailFast disables graceful degradation: the first stage failure
+	// aborts the run with its *StageError instead of rolling the
+	// affected function back and continuing.
+	FailFast bool
+	// Faults, when non-nil, injects deterministic failures at stage
+	// boundaries (see internal/faults); used to test the recovery
+	// paths and exposed through the tools' -fault flag.
+	Faults *faults.Injector
 }
 
 // StaticCounts are instruction counts of a program, the paper's static
@@ -107,7 +133,8 @@ func (s StaticCounts) Total() int { return s.Loads + s.Stores }
 type Outcome struct {
 	// Prog is the transformed (promoted, destructed) program.
 	Prog *ir.Program
-	// Stats accumulates promotion statistics per function.
+	// Stats accumulates promotion statistics per function. Degraded
+	// functions have no entry: their transformation was rolled back.
 	Stats map[string]*core.Stats
 	// TotalStats sums Stats.
 	TotalStats core.Stats
@@ -118,140 +145,490 @@ type Outcome struct {
 	Before, After *interp.Result
 	// Profile is the training profile the promoter consumed.
 	Profile *profile.Profile
+	// Degraded lists functions compiled without promotion because a
+	// stage failed on them; each entry carries the absorbed failure.
+	Degraded []Degradation
+}
+
+// DegradedFuncs returns the names of degraded functions, in order.
+func (o *Outcome) DegradedFuncs() []string {
+	names := make([]string, len(o.Degraded))
+	for i, d := range o.Degraded {
+		names[i] = d.Func
+	}
+	return names
+}
+
+// runner carries one Run invocation's state.
+type runner struct {
+	opts Options
+	out  *Outcome
+	// snapshots holds each function's pre-transformation clone, used to
+	// roll a failing function back and to bisect differential-check
+	// mismatches down to one function.
+	snapshots map[string]*ir.Function
+	degraded  map[string]bool
 }
 
 // Run executes the full pipeline on mini-C source text.
 func Run(src string, opts Options) (*Outcome, error) {
-	out := &Outcome{Stats: make(map[string]*core.Stats)}
+	r := &runner{
+		opts:      opts,
+		out:       &Outcome{Stats: make(map[string]*core.Stats)},
+		snapshots: make(map[string]*ir.Function),
+		degraded:  make(map[string]bool),
+	}
 
 	// Baseline program: compiled, analyzed, normalized — not promoted.
-	before, _, err := frontend(src)
+	before, _, err := r.frontend(src)
 	if err != nil {
 		return nil, err
 	}
-	out.StaticBefore = countStatic(before)
+	r.out.StaticBefore = countStatic(before)
 
 	// Training profile (on the unpromoted program, or on a separate
 	// training-input variant when TrainSrc is set).
-	prof := profile.NewProfile()
-	switch {
-	case opts.StaticProfile:
-		p, err := estimateAll(before)
-		if err != nil {
-			return nil, err
-		}
-		prof = p
-	case opts.TrainSrc != "":
-		train, _, err := frontend(opts.TrainSrc)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: training source: %w", err)
-		}
-		for _, f := range before.Funcs {
-			if train.Func(f.Name) == nil {
-				return nil, fmt.Errorf("pipeline: training source lacks function %s", f.Name)
-			}
-		}
-		popts := opts.Interp
-		popts.CollectProfile = true
-		res, err := interp.Run(train, popts)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: training run: %w", err)
-		}
-		prof = res.Profile
-	default:
-		popts := opts.Interp
-		popts.CollectProfile = true
-		res, err := interp.Run(before, popts)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: training run: %w", err)
-		}
-		prof = res.Profile
+	prof, err := r.trainProfile(before)
+	if err != nil {
+		return nil, err
 	}
-	out.Profile = prof
+	r.out.Profile = prof
 
 	// Measurement of the unpromoted program.
 	if !opts.SkipMeasurement {
-		res, err := interp.Run(before, opts.Interp)
+		res, err := r.measure(StageMeasureBefore, before)
 		if err != nil {
-			return nil, fmt.Errorf("pipeline: baseline run: %w", err)
+			return nil, err
 		}
-		out.Before = res
+		r.out.Before = res
 	}
 
-	// Promoted program: fresh compile, then transform.
-	after, forests, err := frontend(src)
+	// Promoted program: fresh compile, then transform, function by
+	// function, each behind its own isolation and rollback boundary.
+	after, forests, err := r.frontend(src)
 	if err != nil {
 		return nil, err
 	}
 	for _, f := range after.Funcs {
-		fp := prof.ForFunc(f.Name)
-		switch opts.Algorithm {
-		case AlgSSA:
-			if _, err := ssa.Build(f); err != nil {
-				return nil, fmt.Errorf("pipeline: %s: %w", f.Name, err)
+		if err := r.transformFunc(after, f, forests[f.Name], prof); err != nil {
+			return nil, err
+		}
+	}
+	r.out.Prog = after
+
+	if !opts.SkipMeasurement {
+		res, err := r.measure(StageMeasureAfter, after)
+		if err != nil {
+			// A promoted program that no longer runs is a miscompile:
+			// try to rescue the run by degrading the culprit function.
+			if rerr := r.rescueAfter(after, err); rerr != nil {
+				return nil, rerr
 			}
-			if opts.PreMemOpts {
+		} else {
+			r.out.After = res
+		}
+	}
+
+	if opts.Check >= CheckParanoid {
+		if err := r.differential(before, after); err != nil {
+			return nil, err
+		}
+	}
+
+	r.out.StaticAfter = countStatic(after)
+	r.recomputeTotals()
+	return r.out, nil
+}
+
+// frontend compiles and prepares a program up to (but excluding) SSA,
+// one isolated stage per phase. Compile and alias failures abort the
+// run; a per-function normalize failure degrades that function (its
+// forest stays nil and promotion is skipped).
+func (r *runner) frontend(src string) (*ir.Program, map[string]*cfg.Forest, error) {
+	var prog *ir.Program
+	if err := r.runStage(StageCompile, "", nil, func() error {
+		p, err := source.Compile(src)
+		prog = p
+		return err
+	}); err != nil {
+		return nil, nil, err
+	}
+	if err := r.runStage(StageAlias, "", func() string { return prog.String() }, func() error {
+		return alias.Analyze(prog)
+	}); err != nil {
+		return nil, nil, err
+	}
+	forests := make(map[string]*cfg.Forest, len(prog.Funcs))
+	for _, f := range prog.Funcs {
+		f := f
+		snap := f.Clone()
+		err := r.runStage(StageNormalize, f.Name, func() string { return f.String() }, func() error {
+			forest, err := cfg.Normalize(f)
+			if err != nil {
+				return err
+			}
+			if r.opts.Check >= CheckBoundaries {
+				if verr := f.Verify(ir.VerifyCFG); verr != nil {
+					return fmt.Errorf("post-normalize verify: %w", verr)
+				}
+			}
+			forests[f.Name] = forest
+			return nil
+		})
+		if err != nil {
+			if r.opts.FailFast {
+				return nil, nil, err
+			}
+			prog.ReplaceFunction(snap)
+			forests[f.Name] = nil
+			r.recordDegradation(f.Name, StageNormalize, err)
+		}
+	}
+	return prog, forests, nil
+}
+
+// trainProfile acquires the promotion profile behind the train stage's
+// isolation boundary.
+func (r *runner) trainProfile(before *ir.Program) (*profile.Profile, error) {
+	prof := profile.NewProfile()
+	err := r.runStage(StageTrain, "", nil, func() error {
+		switch {
+		case r.opts.StaticProfile:
+			p, err := estimateAll(before)
+			if err != nil {
+				return err
+			}
+			prof = p
+		case r.opts.TrainSrc != "":
+			train, _, err := plainFrontend(r.opts.TrainSrc)
+			if err != nil {
+				return fmt.Errorf("training source: %w", err)
+			}
+			for _, f := range before.Funcs {
+				if train.Func(f.Name) == nil {
+					return fmt.Errorf("training source lacks function %s", f.Name)
+				}
+			}
+			popts := r.opts.Interp
+			popts.CollectProfile = true
+			res, err := interp.Run(train, popts)
+			if err != nil {
+				return fmt.Errorf("training run: %w", err)
+			}
+			prof = res.Profile
+		default:
+			popts := r.opts.Interp
+			popts.CollectProfile = true
+			res, err := interp.Run(before, popts)
+			if err != nil {
+				return fmt.Errorf("training run: %w", err)
+			}
+			prof = res.Profile
+		}
+		return nil
+	})
+	return prof, err
+}
+
+// measure interprets prog behind the named stage's isolation boundary.
+func (r *runner) measure(stage string, prog *ir.Program) (*interp.Result, error) {
+	var res *interp.Result
+	err := r.runStage(stage, "", nil, func() error {
+		rr, err := interp.Run(prog, r.opts.Interp)
+		res = rr
+		return err
+	})
+	return res, err
+}
+
+// transformStep is one per-function stage of the promotion chain.
+type transformStep struct {
+	name string
+	body func() error
+	// inSSA says the function is in SSA form after this step, which
+	// selects the boundary verifier (dominance vs. plain CFG).
+	inSSA bool
+}
+
+// transformFunc runs the per-function transformation chain for f. Any
+// stage failure (including a boundary-check failure) rolls f back to
+// its pre-transformation snapshot and records a Degradation, unless
+// FailFast is set, in which case the *StageError is returned.
+func (r *runner) transformFunc(prog *ir.Program, f *ir.Function, forest *cfg.Forest, prof *profile.Profile) error {
+	if r.degraded[f.Name] {
+		return nil // degraded at normalize; already in known-good state
+	}
+	snap := f.Clone()
+	r.snapshots[f.Name] = snap
+	fp := prof.ForFunc(f.Name)
+
+	var stats *core.Stats
+	var chain []transformStep
+	switch r.opts.Algorithm {
+	case AlgSSA:
+		chain = append(chain, transformStep{StageSSABuild, func() error {
+			_, err := ssa.Build(f)
+			return err
+		}, true})
+		if r.opts.PreMemOpts {
+			chain = append(chain, transformStep{StageMemOpts, func() error {
 				opt.ForwardStores(f)
 				opt.DeadStoreElim(f)
 				opt.Cleanup(f)
-			}
+				return nil
+			}, true})
+		}
+		chain = append(chain, transformStep{StagePromote, func() error {
 			scope := core.ScopeIntervals
-			if opts.WholeFunctionScope {
+			if r.opts.WholeFunctionScope {
 				scope = core.ScopeWholeFunction
 			}
-			stats, err := core.PromoteFunction(f, forests[f.Name], core.Config{
+			s, err := core.PromoteFunction(f, forest, core.Config{
 				Profile:         fp,
 				Scope:           scope,
-				CountTailStores: !opts.PaperProfitFormula,
-				MaxPromotedWebs: opts.MaxPromotedWebs,
+				CountTailStores: !r.opts.PaperProfitFormula,
+				MaxPromotedWebs: r.opts.MaxPromotedWebs,
 			})
-			if err != nil {
-				return nil, fmt.Errorf("pipeline: promote %s: %w", f.Name, err)
-			}
-			out.Stats[f.Name] = stats
-			out.TotalStats.Add(*stats)
+			stats = s
+			return err
+		}, true})
+		chain = append(chain, transformStep{StageDestruct, func() error {
 			ssa.Destruct(f)
-		case AlgMemOpt:
-			if _, err := ssa.Build(f); err != nil {
-				return nil, fmt.Errorf("pipeline: %s: %w", f.Name, err)
-			}
+			return nil
+		}, false})
+	case AlgMemOpt:
+		chain = append(chain, transformStep{StageSSABuild, func() error {
+			_, err := ssa.Build(f)
+			return err
+		}, true})
+		chain = append(chain, transformStep{StageMemOpts, func() error {
 			opt.ForwardStores(f)
 			opt.DeadStoreElim(f)
 			opt.Cleanup(f)
+			return nil
+		}, true})
+		chain = append(chain, transformStep{StageDestruct, func() error {
 			ssa.Destruct(f)
-		case AlgBaseline:
-			stats := baseline.PromoteFunction(f, forests[f.Name])
-			out.Stats[f.Name] = &core.Stats{
-				WebsConsidered: stats.VarsConsidered,
-				WebsPromoted:   stats.VarsPromoted,
-				LoadsReplaced:  stats.LoadsReplaced,
-				StoresDeleted:  stats.StoresDeleted,
-				LoadsInserted:  stats.LoadsInserted,
-				StoresInserted: stats.StoresInserted,
+			return nil
+		}, false})
+	case AlgBaseline:
+		chain = append(chain, transformStep{StagePromote, func() error {
+			bs := baseline.PromoteFunction(f, forest)
+			stats = &core.Stats{
+				WebsConsidered: bs.VarsConsidered,
+				WebsPromoted:   bs.VarsPromoted,
+				LoadsReplaced:  bs.LoadsReplaced,
+				StoresDeleted:  bs.StoresDeleted,
+				LoadsInserted:  bs.LoadsInserted,
+				StoresInserted: bs.StoresInserted,
 			}
-			out.TotalStats.Add(*out.Stats[f.Name])
-		case AlgNone:
-			// control: nothing
-		}
-		if err := f.Verify(ir.VerifyCFG); err != nil {
-			return nil, fmt.Errorf("pipeline: post-transform %s: %w", f.Name, err)
-		}
+			return nil
+		}, false})
+	case AlgNone:
+		// control: nothing to transform, but the verify stage below
+		// still runs, preserving the isolation contract.
 	}
-	out.Prog = after
-	out.StaticAfter = countStatic(after)
 
-	if !opts.SkipMeasurement {
-		res, err := interp.Run(after, opts.Interp)
+	for _, st := range chain {
+		st := st
+		err := r.runStage(st.name, f.Name, func() string { return f.String() }, func() error {
+			if err := st.body(); err != nil {
+				return err
+			}
+			return r.boundaryCheck(f, st.inSSA)
+		})
 		if err != nil {
-			return nil, fmt.Errorf("pipeline: promoted run: %w", err)
+			return r.degrade(prog, f, snap, st.name, err)
 		}
-		out.After = res
 	}
-	return out, nil
+
+	// Final structural verification — always on, whatever the check
+	// level (the seed pipeline's single verify call lives on here).
+	if err := r.runStage(StageVerify, f.Name, func() string { return f.String() }, func() error {
+		return f.Verify(ir.VerifyCFG)
+	}); err != nil {
+		return r.degrade(prog, f, snap, StageVerify, err)
+	}
+
+	if stats != nil {
+		r.out.Stats[f.Name] = stats
+	}
+	return nil
 }
 
-// frontend compiles and prepares a program up to (but excluding) SSA.
-func frontend(src string) (*ir.Program, map[string]*cfg.Forest, error) {
+// boundaryCheck re-verifies f after a stage when the check level asks
+// for it: full SSA dominance discipline while in SSA form, structural
+// CFG invariants otherwise.
+func (r *runner) boundaryCheck(f *ir.Function, inSSA bool) error {
+	if r.opts.Check < CheckBoundaries {
+		return nil
+	}
+	if inSSA {
+		if err := ssa.VerifyDominance(f); err != nil {
+			return fmt.Errorf("boundary verify (ssa): %w", err)
+		}
+		return nil
+	}
+	if err := f.Verify(ir.VerifyCFG); err != nil {
+		return fmt.Errorf("boundary verify (cfg): %w", err)
+	}
+	return nil
+}
+
+// degrade rolls f back to snap inside prog and records the absorbed
+// failure, or returns it when FailFast is set.
+func (r *runner) degrade(prog *ir.Program, f *ir.Function, snap *ir.Function, stage string, err error) error {
+	if r.opts.FailFast {
+		return err
+	}
+	prog.ReplaceFunction(snap)
+	r.snapshots[f.Name] = snap
+	delete(r.out.Stats, f.Name)
+	r.recordDegradation(f.Name, stage, err)
+	return nil
+}
+
+// recordDegradation appends one Degradation, deduplicating on
+// (function, stage) — the baseline and promoted compiles hit the same
+// deterministic failure twice.
+func (r *runner) recordDegradation(fn, stage string, err error) {
+	for _, d := range r.out.Degraded {
+		if d.Func == fn && d.Stage == stage {
+			return
+		}
+	}
+	se, ok := err.(*StageError)
+	if !ok {
+		se = &StageError{Stage: stage, Func: fn, Err: err}
+	}
+	r.degraded[fn] = true
+	r.out.Degraded = append(r.out.Degraded, Degradation{Func: fn, Stage: stage, Err: se})
+}
+
+// recomputeTotals rebuilds TotalStats from the per-function map (stats
+// of degraded functions have been dropped by then).
+func (r *runner) recomputeTotals() {
+	r.out.TotalStats = core.Stats{}
+	for _, s := range r.out.Stats {
+		r.out.TotalStats.Add(*s)
+	}
+}
+
+// differential is the paranoid semantic check: the baseline and
+// transformed programs must print the same output, return the same
+// value, and leave identical global memory. On a mismatch the pipeline
+// bisects — it retries with one function at a time rolled back to its
+// unpromoted snapshot, and if a single rollback restores equivalence,
+// that function is degraded and compilation succeeds.
+func (r *runner) differential(before, after *ir.Program) error {
+	return r.runStage(StageDifferential, "", func() string { return after.String() }, func() error {
+		resB := r.out.Before
+		if resB == nil {
+			rb, err := interp.Run(before, r.opts.Interp)
+			if err != nil {
+				return fmt.Errorf("baseline run: %w", err)
+			}
+			resB = rb
+		}
+		resA := r.out.After
+		if resA == nil {
+			ra, err := interp.Run(after, r.opts.Interp)
+			if err != nil {
+				if r.bisect(after, resB) {
+					return nil
+				}
+				return fmt.Errorf("transformed run: %w", err)
+			}
+			resA = ra
+		}
+		diff := compareResults(resB, resA)
+		if diff == "" {
+			return nil
+		}
+		if r.bisect(after, resB) {
+			return nil
+		}
+		return fmt.Errorf("semantic differential check failed: %s", diff)
+	})
+}
+
+// rescueAfter handles a failing measurement run of the transformed
+// program by bisecting for a degradable culprit function. It returns
+// nil when the rescue succeeded (out.After is then the rescued run).
+func (r *runner) rescueAfter(after *ir.Program, err error) error {
+	if r.opts.FailFast || r.out.Before == nil {
+		return err
+	}
+	if r.bisect(after, r.out.Before) {
+		return nil
+	}
+	return err
+}
+
+// bisect tries rolling transformed functions back one at a time until
+// the program's behavior matches want. On success the culprit stays
+// rolled back, is recorded as degraded, and out.After is refreshed.
+func (r *runner) bisect(after *ir.Program, want *interp.Result) bool {
+	if r.opts.FailFast {
+		return false
+	}
+	for _, f := range after.Funcs {
+		snap := r.snapshots[f.Name]
+		if snap == nil || r.degraded[f.Name] {
+			continue
+		}
+		cur := after.Func(f.Name)
+		if cur == snap {
+			continue
+		}
+		after.ReplaceFunction(snap)
+		res, err := interp.Run(after, r.opts.Interp)
+		if err == nil && compareResults(want, res) == "" {
+			delete(r.out.Stats, f.Name)
+			r.recordDegradation(f.Name, StageDifferential, fmt.Errorf(
+				"transformed program diverged from baseline; rolling back %s restored equivalence", f.Name))
+			if !r.opts.SkipMeasurement {
+				r.out.After = res
+			}
+			return true
+		}
+		after.ReplaceFunction(cur) // not the culprit; restore
+	}
+	return false
+}
+
+// compareResults reports the first observable difference between two
+// runs, or "" when they are semantically identical.
+func compareResults(a, b *interp.Result) string {
+	if len(a.Output) != len(b.Output) {
+		return fmt.Sprintf("output length %d vs %d", len(a.Output), len(b.Output))
+	}
+	for i := range a.Output {
+		if a.Output[i] != b.Output[i] {
+			return fmt.Sprintf("output[%d] = %d vs %d", i, a.Output[i], b.Output[i])
+		}
+	}
+	if a.ReturnValue != b.ReturnValue {
+		return fmt.Sprintf("return value %d vs %d", a.ReturnValue, b.ReturnValue)
+	}
+	for name, img := range a.Globals {
+		other := b.Globals[name]
+		if len(img) != len(other) {
+			return fmt.Sprintf("global %s size %d vs %d", name, len(img), len(other))
+		}
+		for i := range img {
+			if img[i] != other[i] {
+				return fmt.Sprintf("global %s[%d] = %d vs %d", name, i, img[i], other[i])
+			}
+		}
+	}
+	return ""
+}
+
+// plainFrontend compiles and prepares a program without stage isolation
+// (used for the training-input variant, whose failures are reported as
+// train-stage errors by the caller).
+func plainFrontend(src string) (*ir.Program, map[string]*cfg.Forest, error) {
 	prog, err := source.Compile(src)
 	if err != nil {
 		return nil, nil, err

@@ -29,6 +29,12 @@ type Options struct {
 	// PreMemOpts runs the memory-SSA scalar optimizations before
 	// promotion.
 	PreMemOpts bool
+	// Check selects the pipeline's self-checking level (stage-boundary
+	// verification, paranoid semantic differential).
+	Check pipeline.CheckLevel
+	// FailFast aborts on the first stage failure instead of degrading
+	// the affected function.
+	FailFast bool
 }
 
 func (o Options) pipeline(skipMeasure bool) pipeline.Options {
@@ -39,6 +45,8 @@ func (o Options) pipeline(skipMeasure bool) pipeline.Options {
 		WholeFunctionScope: o.WholeFunctionScope,
 		PreMemOpts:         o.PreMemOpts,
 		SkipMeasurement:    skipMeasure,
+		Check:              o.Check,
+		FailFast:           o.FailFast,
 	}
 }
 
