@@ -1,7 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
+BATCH ?= 32
+JOBS ?= $(shell nproc 2>/dev/null || echo 4)
 
-.PHONY: build test vet race fuzz-smoke ci
+.PHONY: build test vet race test-par fuzz-smoke bench-par ci
 
 build:
 	$(GO) build ./...
@@ -15,6 +17,11 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# The parallel-pipeline determinism and isolation tests, explicitly
+# under the race detector — the worker pool's acceptance gate.
+test-par:
+	$(GO) test -race -run 'Parallel|Corpus|DeriveSeed|Timings' ./internal/pipeline/... ./internal/workload/...
+
 # Short fuzzing pass over every native fuzz target. Each target runs
 # for $(FUZZTIME) (default 10s) on top of its seed corpus.
 fuzz-smoke:
@@ -22,4 +29,10 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzPipelineDifferential$$' -fuzztime $(FUZZTIME) ./internal/pipeline
 	$(GO) test -run '^$$' -fuzz '^FuzzPipelineFaults$$' -fuzztime $(FUZZTIME) ./internal/pipeline
 
-ci: vet race fuzz-smoke
+# Sharded-batch benchmark: the stress corpus under -j 1 vs -j $(JOBS),
+# each writing a machine-readable record for before/after comparison.
+bench-par:
+	$(GO) run ./cmd/rpbench -batch $(BATCH) -j 1       -timings -json BENCH_parallel_j1.json
+	$(GO) run ./cmd/rpbench -batch $(BATCH) -j $(JOBS) -timings -json BENCH_parallel_jN.json
+
+ci: vet race test-par fuzz-smoke

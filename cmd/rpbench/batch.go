@@ -1,0 +1,205 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/pipeline"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// batchConfig parameterizes one batch (stress-corpus) run.
+type batchConfig struct {
+	// Generated is how many generated stress programs to append to the
+	// eight suite workloads.
+	Generated int
+	// Seed is the base seed the corpus entries derive theirs from.
+	Seed int64
+	// Jobs shards corpus entries across goroutines.
+	Jobs int
+	// Workers is the per-program pipeline worker count.
+	Workers int
+	// Check is the pipeline self-checking level.
+	Check pipeline.CheckLevel
+	// Timings prints the aggregated per-stage wall time table.
+	Timings bool
+	// JSONPath, when non-empty, receives a machine-readable record of
+	// the run for before/after comparisons.
+	JSONPath string
+}
+
+// entryResult is the outcome of one corpus entry. Results are stored at
+// the entry's index, so aggregation order is independent of which shard
+// finished first.
+type entryResult struct {
+	Name     string
+	Err      error
+	Out      *pipeline.Outcome
+	Wall     time.Duration
+	Degraded []string
+}
+
+// batchRecord is the JSON shape written by -json: enough to compare a
+// before/after pair of runs (wall clock, throughput, per-stage time)
+// and to confirm both runs computed the same thing (improvement and
+// degradation totals are worker-count-invariant).
+type batchRecord struct {
+	Entries        int             `json:"entries"`
+	Generated      int             `json:"generated"`
+	Seed           int64           `json:"seed"`
+	Jobs           int             `json:"jobs"`
+	Workers        int             `json:"workers"`
+	Check          string          `json:"check"`
+	ElapsedMS      float64         `json:"elapsed_ms"`
+	CPUMS          float64         `json:"cpu_ms"` // summed per-entry wall
+	EntriesPerSec  float64         `json:"entries_per_sec"`
+	Failures       int             `json:"failures"`
+	DegradedFuncs  int             `json:"degraded_funcs"`
+	MeanImprovePct float64         `json:"mean_improvement_pct"`
+	Stages         []stageRecordMS `json:"stages"`
+}
+
+type stageRecordMS struct {
+	Stage  string  `json:"stage"`
+	WallMS float64 `json:"wall_ms"`
+	Count  int     `json:"count"`
+}
+
+// runBatch compiles and measures the suite plus a generated stress
+// corpus, sharding entries across cfg.Jobs goroutines. Per-entry
+// results land at fixed indexes and every summary walks them in entry
+// order, so the output is deterministic for any -j.
+func runBatch(cfg batchConfig) error {
+	corpus := workload.Suite()
+	for i := 0; i < cfg.Generated; i++ {
+		corpus = append(corpus, workload.CorpusEntry(cfg.Seed, i))
+	}
+
+	popts := pipeline.Options{
+		Check:   cfg.Check,
+		Workers: cfg.Workers,
+		// Generated programs terminate by construction, but bound the
+		// interpreter anyway so a generator bug cannot hang the batch.
+		Interp: interp.Options{MaxSteps: 50_000_000, Timeout: 2 * time.Minute},
+	}
+
+	jobs := cfg.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > len(corpus) {
+		jobs = len(corpus)
+	}
+
+	results := make([]entryResult, len(corpus))
+	start := time.Now()
+	indexes := make(chan int)
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				w := corpus[i]
+				t0 := time.Now()
+				out, err := pipeline.Run(w.Src, popts)
+				r := entryResult{Name: w.Name, Err: err, Out: out, Wall: time.Since(t0)}
+				if out != nil {
+					r.Degraded = out.DegradedFuncs()
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := range corpus {
+		indexes <- i
+	}
+	close(indexes)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var (
+		failures, degraded int
+		cpu                time.Duration
+		improveSum         float64
+		improveN           int
+		outcomes           []*pipeline.Outcome
+	)
+	for _, r := range results {
+		cpu += r.Wall
+		if r.Err != nil {
+			failures++
+			fmt.Printf("FAIL %-10s %v\n", r.Name, r.Err)
+			continue
+		}
+		degraded += len(r.Degraded)
+		outcomes = append(outcomes, r.Out)
+		if r.Out.Before != nil && r.Out.After != nil && r.Out.Before.DynMemOps() > 0 {
+			before, after := r.Out.Before.DynMemOps(), r.Out.After.DynMemOps()
+			improveSum += float64(before-after) / float64(before) * 100
+			improveN++
+		}
+		for _, fn := range r.Degraded {
+			fmt.Printf("DEGRADED %-10s %s\n", r.Name, fn)
+		}
+	}
+	mean := 0.0
+	if improveN > 0 {
+		mean = improveSum / float64(improveN)
+	}
+
+	fmt.Printf("batch: %d entries (%d generated, seed %d), -j %d, -workers %d, check %s\n",
+		len(corpus), cfg.Generated, cfg.Seed, jobs, cfg.Workers, cfg.Check)
+	fmt.Printf("wall %v  cpu %v  %.2f entries/s  failures %d  degraded funcs %d\n",
+		elapsed.Round(time.Millisecond), cpu.Round(time.Millisecond),
+		float64(len(corpus))/elapsed.Seconds(), failures, degraded)
+	fmt.Printf("mean dynamic memory-op improvement: %.1f%%\n", mean)
+
+	stageRows := report.SumStageTimings(outcomes...)
+	if cfg.Timings {
+		fmt.Println()
+		fmt.Print(report.FormatStageTimings(stageRows))
+	}
+
+	if cfg.JSONPath != "" {
+		rec := batchRecord{
+			Entries:        len(corpus),
+			Generated:      cfg.Generated,
+			Seed:           cfg.Seed,
+			Jobs:           jobs,
+			Workers:        cfg.Workers,
+			Check:          cfg.Check.String(),
+			ElapsedMS:      float64(elapsed.Microseconds()) / 1000,
+			CPUMS:          float64(cpu.Microseconds()) / 1000,
+			EntriesPerSec:  float64(len(corpus)) / elapsed.Seconds(),
+			Failures:       failures,
+			DegradedFuncs:  degraded,
+			MeanImprovePct: mean,
+		}
+		for _, r := range stageRows {
+			rec.Stages = append(rec.Stages, stageRecordMS{
+				Stage:  r.Stage,
+				WallMS: float64(r.Wall.Microseconds()) / 1000,
+				Count:  r.Count,
+			})
+		}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.JSONPath)
+	}
+
+	if failures > 0 {
+		return fmt.Errorf("batch: %d of %d entries failed", failures, len(corpus))
+	}
+	return nil
+}

@@ -7,6 +7,14 @@
 //	rpbench -table 2        # just the dynamic counts table
 //	rpbench -ablations      # just the ablations
 //	rpbench -static-profile # promote with the static estimator instead
+//
+// Batch mode shards a stress corpus (the suite plus generated
+// programs) across goroutines and reports throughput, per-stage wall
+// time, and a machine-readable record for before/after comparison:
+//
+//	rpbench -batch 24 -j 8             # suite + 24 generated, 8 shards
+//	rpbench -batch 24 -j 1 -json a.json && rpbench -batch 24 -j 8 -json b.json
+//	rpbench -workers 4                 # per-program transform workers
 package main
 
 import (
@@ -27,6 +35,12 @@ func main() {
 		paper     = flag.Bool("paper-formula", false, "use the paper's exact profit formula")
 		check     = flag.String("check", "off", "pipeline self-checking level: off, boundaries, or paranoid")
 		failFast  = flag.Bool("failfast", false, "abort on the first stage failure instead of degrading the function")
+		workers   = flag.Int("workers", 1, "per-program pipeline workers (0 = GOMAXPROCS, 1 = sequential)")
+		batch     = flag.Int("batch", -1, "batch mode: run the suite plus N generated stress programs (-1 = off, 0 = suite only)")
+		seed      = flag.Int64("seed", 1, "base seed for the generated batch corpus")
+		jobs      = flag.Int("j", 1, "batch mode: shard corpus entries across N goroutines")
+		timings   = flag.Bool("timings", false, "batch mode: print aggregated per-stage wall times")
+		jsonOut   = flag.String("json", "", "batch mode: write a machine-readable benchmark record to this file")
 	)
 	flag.Parse()
 
@@ -39,6 +53,22 @@ func main() {
 		PaperProfitFormula: *paper,
 		Check:              checkLevel,
 		FailFast:           *failFast,
+		Workers:            *workers,
+	}
+
+	if *batch >= 0 {
+		if err := runBatch(batchConfig{
+			Generated: *batch,
+			Seed:      *seed,
+			Jobs:      *jobs,
+			Workers:   *workers,
+			Check:     checkLevel,
+			Timings:   *timings,
+			JSONPath:  *jsonOut,
+		}); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *ablations {

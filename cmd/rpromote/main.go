@@ -23,6 +23,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/pipeline"
 	"repro/internal/regalloc"
+	"repro/internal/report"
 	"repro/internal/workload"
 )
 
@@ -42,6 +43,8 @@ func main() {
 		failFast    = flag.Bool("failfast", false, "abort on the first stage failure instead of degrading the function")
 		fault       = flag.String("fault", "", "inject a fault at stage[/func][:error|panic], e.g. promote/main:panic")
 		verbose     = flag.Bool("verbose-errors", false, "print the full stage failure report (stack and IR snapshot)")
+		workers     = flag.Int("workers", 1, "per-function transform workers (0 = GOMAXPROCS, 1 = sequential)")
+		timings     = flag.Bool("timings", false, "print per-stage wall times")
 	)
 	flag.Parse()
 
@@ -97,6 +100,7 @@ func main() {
 		Check:              checkLevel,
 		FailFast:           *failFast,
 		Faults:             injector,
+		Workers:            *workers,
 	})
 	if err != nil {
 		fatal(err, *verbose)
@@ -132,6 +136,11 @@ func main() {
 	} else {
 		fmt.Println("\nsemantics check: MISMATCH — this is a bug")
 		os.Exit(1)
+	}
+
+	if *timings {
+		fmt.Println()
+		fmt.Print(report.FormatStageTimings(report.SumStageTimings(out)))
 	}
 
 	if *regPressure {

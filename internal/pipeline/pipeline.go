@@ -23,6 +23,8 @@ package pipeline
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/alias"
 	"repro/internal/baseline"
@@ -117,6 +119,14 @@ type Options struct {
 	// boundaries (see internal/faults); used to test the recovery
 	// paths and exposed through the tools' -fault flag.
 	Faults *faults.Injector
+	// Workers bounds how many functions are transformed concurrently.
+	// Each worker runs the full per-function chain (SSA build →
+	// promote → destruct → verify) behind the usual isolation and
+	// rollback barrier; program-level effects (function swaps, stats,
+	// degradations) are serialized and canonicalized so the Outcome is
+	// identical for every worker count. 0 means GOMAXPROCS; 1 keeps
+	// the sequential behavior.
+	Workers int
 }
 
 // StaticCounts are instruction counts of a program, the paper's static
@@ -146,8 +156,15 @@ type Outcome struct {
 	// Profile is the training profile the promoter consumed.
 	Profile *profile.Profile
 	// Degraded lists functions compiled without promotion because a
-	// stage failed on them; each entry carries the absorbed failure.
+	// stage failed on them, in canonical order (program declaration
+	// order, then stage order); each entry carries the absorbed
+	// failure. A function appears at most once, whichever code path
+	// (transformation, rescue, differential bisect) degraded it.
 	Degraded []Degradation
+	// Timings records the measured wall time of every stage execution,
+	// in canonical order (stage order, then program declaration order).
+	// Durations naturally vary run to run; Report excludes them.
+	Timings []StageTiming
 }
 
 // DegradedFuncs returns the names of degraded functions, in order.
@@ -163,6 +180,11 @@ func (o *Outcome) DegradedFuncs() []string {
 type runner struct {
 	opts Options
 	out  *Outcome
+	// mu guards the shared run state (out, snapshots, degraded, the
+	// program's function registry) while the per-function transform
+	// chains execute on the worker pool. Outside that phase the run is
+	// single-goroutine and the lock is uncontended.
+	mu sync.Mutex
 	// snapshots holds each function's pre-transformation clone, used to
 	// roll a failing function back and to bisect differential-check
 	// mismatches down to one function.
@@ -209,10 +231,8 @@ func Run(src string, opts Options) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, f := range after.Funcs {
-		if err := r.transformFunc(after, f, forests[f.Name], prof); err != nil {
-			return nil, err
-		}
+	if err := r.transformAll(after, forests, prof); err != nil {
+		return nil, err
 	}
 	r.out.Prog = after
 
@@ -236,7 +256,7 @@ func Run(src string, opts Options) (*Outcome, error) {
 	}
 
 	r.out.StaticAfter = countStatic(after)
-	r.recomputeTotals()
+	r.finish(after)
 	return r.out, nil
 }
 
@@ -355,11 +375,14 @@ type transformStep struct {
 // its pre-transformation snapshot and records a Degradation, unless
 // FailFast is set, in which case the *StageError is returned.
 func (r *runner) transformFunc(prog *ir.Program, f *ir.Function, forest *cfg.Forest, prof *profile.Profile) error {
+	r.mu.Lock()
 	if r.degraded[f.Name] {
+		r.mu.Unlock()
 		return nil // degraded at normalize; already in known-good state
 	}
 	snap := f.Clone()
 	r.snapshots[f.Name] = snap
+	r.mu.Unlock()
 	fp := prof.ForFunc(f.Name)
 
 	var stats *core.Stats
@@ -451,7 +474,9 @@ func (r *runner) transformFunc(prog *ir.Program, f *ir.Function, forest *cfg.For
 	}
 
 	if stats != nil {
+		r.mu.Lock()
 		r.out.Stats[f.Name] = stats
+		r.mu.Unlock()
 	}
 	return nil
 }
@@ -476,24 +501,33 @@ func (r *runner) boundaryCheck(f *ir.Function, inSSA bool) error {
 }
 
 // degrade rolls f back to snap inside prog and records the absorbed
-// failure, or returns it when FailFast is set.
+// failure, or returns it when FailFast is set. The rollback and the
+// bookkeeping run under the runner's lock: ReplaceFunction mutates the
+// program's shared function registry, which concurrent workers may be
+// swapping other functions into.
 func (r *runner) degrade(prog *ir.Program, f *ir.Function, snap *ir.Function, stage string, err error) error {
 	if r.opts.FailFast {
 		return err
 	}
+	r.mu.Lock()
 	prog.ReplaceFunction(snap)
 	r.snapshots[f.Name] = snap
 	delete(r.out.Stats, f.Name)
+	r.mu.Unlock()
 	r.recordDegradation(f.Name, stage, err)
 	return nil
 }
 
-// recordDegradation appends one Degradation, deduplicating on
-// (function, stage) — the baseline and promoted compiles hit the same
-// deterministic failure twice.
+// recordDegradation appends one Degradation, deduplicating on function
+// name — the baseline and promoted compiles hit the same deterministic
+// failure twice, and a function rescued by the differential bisect must
+// not be double-counted with its transformation-time failure. finish
+// re-sorts the surviving entries into canonical order.
 func (r *runner) recordDegradation(fn, stage string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for _, d := range r.out.Degraded {
-		if d.Func == fn && d.Stage == stage {
+		if d.Func == fn {
 			return
 		}
 	}
@@ -611,7 +645,16 @@ func compareResults(a, b *interp.Result) string {
 	if a.ReturnValue != b.ReturnValue {
 		return fmt.Sprintf("return value %d vs %d", a.ReturnValue, b.ReturnValue)
 	}
-	for name, img := range a.Globals {
+	// Walk globals in sorted order so a multi-global mismatch always
+	// reports the same cell — map iteration order must not leak into
+	// differential messages or reports.
+	names := make([]string, 0, len(a.Globals))
+	for name := range a.Globals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		img := a.Globals[name]
 		other := b.Globals[name]
 		if len(img) != len(other) {
 			return fmt.Sprintf("global %s size %d vs %d", name, len(img), len(other))

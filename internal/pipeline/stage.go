@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"time"
 )
 
 // CheckLevel selects how much self-checking the pipeline performs while
@@ -158,6 +159,8 @@ func (r *runner) runStage(stage, fn string, snap func() string, body func() erro
 		}
 		return snap()
 	}
+	start := time.Now()
+	defer func() { r.recordTiming(stage, fn, time.Since(start)) }()
 	defer func() {
 		if rec := recover(); rec != nil {
 			err = &StageError{

@@ -1,0 +1,57 @@
+package pipeline
+
+import "time"
+
+// StageTiming is the measured wall-clock duration of one stage
+// execution. Per-function stages carry the function name; whole-program
+// stages leave it empty. The pipeline records one entry per runStage
+// call, so a run over a program with N functions produces roughly
+// N entries per per-function stage plus one per whole-program stage.
+type StageTiming struct {
+	// Stage is the pipeline stage that was timed (see Stages).
+	Stage string
+	// Func is the function being transformed, or "" for whole-program
+	// stages.
+	Func string
+	// Wall is the stage body's wall-clock duration, including any
+	// boundary checks the configured CheckLevel adds.
+	Wall time.Duration
+}
+
+// stageOrder maps each stage name to its position in execution order,
+// for canonical sorting of timings and degradations.
+var stageOrder = func() map[string]int {
+	m := make(map[string]int, len(Stages()))
+	for i, s := range Stages() {
+		m[s] = i
+	}
+	return m
+}()
+
+// stageIndex returns the execution-order position of stage, or a
+// past-the-end position for unknown names.
+func stageIndex(stage string) int {
+	if i, ok := stageOrder[stage]; ok {
+		return i
+	}
+	return len(stageOrder)
+}
+
+// recordTiming appends one stage timing under the runner's lock (the
+// per-function chains run concurrently on the worker pool).
+func (r *runner) recordTiming(stage, fn string, wall time.Duration) {
+	r.mu.Lock()
+	r.out.Timings = append(r.out.Timings, StageTiming{Stage: stage, Func: fn, Wall: wall})
+	r.mu.Unlock()
+}
+
+// StageWall aggregates the outcome's timings into total wall time per
+// stage. Map iteration order is not defined; render through
+// report.SumStageTimings (or sort by Stages order) for stable output.
+func (o *Outcome) StageWall() map[string]time.Duration {
+	m := make(map[string]time.Duration, len(stageOrder))
+	for _, t := range o.Timings {
+		m[t.Stage] += t.Wall
+	}
+	return m
+}

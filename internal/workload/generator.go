@@ -40,7 +40,10 @@ func DefaultGenConfig(seed int64) GenConfig {
 	}
 }
 
-// Generate produces a random mini-C program.
+// Generate produces a random mini-C program. Every call constructs its
+// own rng from cfg.Seed, so concurrent Generate calls never share
+// random state: generation is deterministic per seed and race-free
+// across goroutines.
 func Generate(cfg GenConfig) string {
 	if cfg.NumGlobals < 1 {
 		cfg.NumGlobals = 1
@@ -53,6 +56,44 @@ func Generate(cfg GenConfig) string {
 	}
 	g := &generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 	return g.program()
+}
+
+// DeriveSeed decorrelates the i'th corpus entry's seed from the base
+// seed with a splitmix64 step. Adjacent base seeds and adjacent entry
+// indexes land far apart in the generator's state space, and — unlike
+// handing one *rand.Rand to every entry — each entry owns its whole
+// random stream, so a corpus generated in parallel shards is identical
+// to one generated sequentially.
+func DeriveSeed(base int64, i int) int64 {
+	z := uint64(base) + (uint64(i)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// CorpusEntry generates the i'th entry of the stress corpus derived
+// from the base seed. Entries are independent: any subset may be
+// generated, in any order, on any goroutine, and each comes out
+// identical to a sequential Corpus call.
+func CorpusEntry(seed int64, i int) Workload {
+	entrySeed := DeriveSeed(seed, i)
+	return Workload{
+		Name:        fmt.Sprintf("gen%04d", i),
+		Description: fmt.Sprintf("generated stress program (base seed %d, entry seed %d)", seed, entrySeed),
+		Src:         Generate(DefaultGenConfig(entrySeed)),
+	}
+}
+
+// Corpus generates an n-entry stress corpus from the base seed.
+func Corpus(seed int64, n int) []Workload {
+	entries := make([]Workload, n)
+	for i := range entries {
+		entries[i] = CorpusEntry(seed, i)
+	}
+	return entries
 }
 
 type generator struct {
