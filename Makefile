@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 BATCH ?= 32
 JOBS ?= $(shell nproc 2>/dev/null || echo 4)
 
-.PHONY: build test vet race test-par fuzz-smoke bench-par ci
+.PHONY: build test vet race test-par fuzz-smoke bench-par bench-hot bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -35,4 +35,24 @@ bench-par:
 	$(GO) run ./cmd/rpbench -batch $(BATCH) -j 1       -timings -json BENCH_parallel_j1.json
 	$(GO) run ./cmd/rpbench -batch $(BATCH) -j $(JOBS) -timings -json BENCH_parallel_jN.json
 
-ci: vet race test-par fuzz-smoke
+# Hot-path benchmark: the same corpus at -j 1 on the legacy paths
+# (no analysis cache, map-based interpreter) versus the optimized
+# default, then merged into one before/after record. Compare the
+# ns_per_function and allocs_per_func fields.
+bench-hot:
+	$(GO) run ./cmd/rpbench -batch $(BATCH) -j 1 -legacy -timings -json BENCH_hotpath_before.json
+	$(GO) run ./cmd/rpbench -batch $(BATCH) -j 1         -timings -json BENCH_hotpath_after.json
+	printf '{\n  "before": ' >  BENCH_hotpath.json
+	cat BENCH_hotpath_before.json >> BENCH_hotpath.json
+	printf ',\n  "after": ' >> BENCH_hotpath.json
+	cat BENCH_hotpath_after.json  >> BENCH_hotpath.json
+	printf '}\n' >> BENCH_hotpath.json
+	rm -f BENCH_hotpath_before.json BENCH_hotpath_after.json
+
+# One-iteration pass over every microbenchmark, as a compile-and-run
+# smoke test for CI (benchmark numbers from one iteration mean nothing;
+# the point is that the benchmarks keep working).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/cfg/ ./internal/ssa/ ./internal/interp/
+
+ci: vet race test-par bench-smoke fuzz-smoke

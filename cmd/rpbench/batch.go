@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -20,12 +21,19 @@ type batchConfig struct {
 	Generated int
 	// Seed is the base seed the corpus entries derive theirs from.
 	Seed int64
+	// Size scales the generated programs: small, medium (default), or
+	// large (see workload.SizedGenConfig).
+	Size string
 	// Jobs shards corpus entries across goroutines.
 	Jobs int
 	// Workers is the per-program pipeline worker count.
 	Workers int
 	// Check is the pipeline self-checking level.
 	Check pipeline.CheckLevel
+	// Legacy runs the pre-optimization paths — no cross-stage analysis
+	// cache, map-based interpreter accounting — as the before side of
+	// the hot-path comparison.
+	Legacy bool
 	// Timings prints the aggregated per-stage wall time table.
 	Timings bool
 	// JSONPath, when non-empty, receives a machine-readable record of
@@ -52,12 +60,18 @@ type batchRecord struct {
 	Entries        int             `json:"entries"`
 	Generated      int             `json:"generated"`
 	Seed           int64           `json:"seed"`
+	Size           string          `json:"size"`
 	Jobs           int             `json:"jobs"`
 	Workers        int             `json:"workers"`
 	Check          string          `json:"check"`
+	Legacy         bool            `json:"legacy"`
 	ElapsedMS      float64         `json:"elapsed_ms"`
 	CPUMS          float64         `json:"cpu_ms"` // summed per-entry wall
 	EntriesPerSec  float64         `json:"entries_per_sec"`
+	Functions      int             `json:"functions"`
+	NsPerFunction  float64         `json:"ns_per_function"` // cpu / functions
+	AllocsPerFunc  float64         `json:"allocs_per_func"` // heap allocations / functions
+	AllocBytesPerF float64         `json:"alloc_bytes_per_func"`
 	Failures       int             `json:"failures"`
 	DegradedFuncs  int             `json:"degraded_funcs"`
 	MeanImprovePct float64         `json:"mean_improvement_pct"`
@@ -77,7 +91,11 @@ type stageRecordMS struct {
 func runBatch(cfg batchConfig) error {
 	corpus := workload.Suite()
 	for i := 0; i < cfg.Generated; i++ {
-		corpus = append(corpus, workload.CorpusEntry(cfg.Seed, i))
+		w, err := workload.SizedCorpusEntry(cfg.Seed, i, cfg.Size)
+		if err != nil {
+			return err
+		}
+		corpus = append(corpus, w)
 	}
 
 	popts := pipeline.Options{
@@ -86,7 +104,12 @@ func runBatch(cfg batchConfig) error {
 		// Generated programs terminate by construction, but bound the
 		// interpreter anyway so a generator bug cannot hang the batch.
 		Interp: interp.Options{MaxSteps: 50_000_000, Timeout: 2 * time.Minute},
+		// Legacy mode measures the pre-optimization baseline: every
+		// stage rebuilds its own analyses and the interpreter uses the
+		// original map-based accounting.
+		NoAnalysisCache: cfg.Legacy,
 	}
+	popts.Interp.Legacy = cfg.Legacy
 
 	jobs := cfg.Jobs
 	if jobs < 1 {
@@ -97,6 +120,8 @@ func runBatch(cfg batchConfig) error {
 	}
 
 	results := make([]entryResult, len(corpus))
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	indexes := make(chan int)
 	var wg sync.WaitGroup
@@ -122,9 +147,12 @@ func runBatch(cfg batchConfig) error {
 	close(indexes)
 	wg.Wait()
 	elapsed := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 
 	var (
 		failures, degraded int
+		funcs              int
 		cpu                time.Duration
 		improveSum         float64
 		improveN           int
@@ -138,6 +166,7 @@ func runBatch(cfg batchConfig) error {
 			continue
 		}
 		degraded += len(r.Degraded)
+		funcs += len(r.Out.Prog.Funcs)
 		outcomes = append(outcomes, r.Out)
 		if r.Out.Before != nil && r.Out.After != nil && r.Out.Before.DynMemOps() > 0 {
 			before, after := r.Out.Before.DynMemOps(), r.Out.After.DynMemOps()
@@ -153,11 +182,30 @@ func runBatch(cfg batchConfig) error {
 		mean = improveSum / float64(improveN)
 	}
 
-	fmt.Printf("batch: %d entries (%d generated, seed %d), -j %d, -workers %d, check %s\n",
-		len(corpus), cfg.Generated, cfg.Seed, jobs, cfg.Workers, cfg.Check)
+	// Per-function cost: total per-entry wall time and whole-process heap
+	// allocation, divided by functions processed. Comparing a -legacy run
+	// against a default run at the same -j isolates what the analysis
+	// cache and the interpreter fast path buy.
+	allocs := float64(msAfter.Mallocs - msBefore.Mallocs)
+	allocBytes := float64(msAfter.TotalAlloc - msBefore.TotalAlloc)
+	nsPerFunc, allocsPerFunc, bytesPerFunc := 0.0, 0.0, 0.0
+	if funcs > 0 {
+		nsPerFunc = float64(cpu.Nanoseconds()) / float64(funcs)
+		allocsPerFunc = allocs / float64(funcs)
+		bytesPerFunc = allocBytes / float64(funcs)
+	}
+
+	mode := "default"
+	if cfg.Legacy {
+		mode = "legacy"
+	}
+	fmt.Printf("batch: %d entries (%d generated, seed %d, size %s), -j %d, -workers %d, check %s, mode %s\n",
+		len(corpus), cfg.Generated, cfg.Seed, sizeName(cfg.Size), jobs, cfg.Workers, cfg.Check, mode)
 	fmt.Printf("wall %v  cpu %v  %.2f entries/s  failures %d  degraded funcs %d\n",
 		elapsed.Round(time.Millisecond), cpu.Round(time.Millisecond),
 		float64(len(corpus))/elapsed.Seconds(), failures, degraded)
+	fmt.Printf("per function: %.0f ns  %.0f allocs  %.0f B  (%d functions)\n",
+		nsPerFunc, allocsPerFunc, bytesPerFunc, funcs)
 	fmt.Printf("mean dynamic memory-op improvement: %.1f%%\n", mean)
 
 	stageRows := report.SumStageTimings(outcomes...)
@@ -171,12 +219,18 @@ func runBatch(cfg batchConfig) error {
 			Entries:        len(corpus),
 			Generated:      cfg.Generated,
 			Seed:           cfg.Seed,
+			Size:           sizeName(cfg.Size),
 			Jobs:           jobs,
 			Workers:        cfg.Workers,
 			Check:          cfg.Check.String(),
+			Legacy:         cfg.Legacy,
 			ElapsedMS:      float64(elapsed.Microseconds()) / 1000,
 			CPUMS:          float64(cpu.Microseconds()) / 1000,
 			EntriesPerSec:  float64(len(corpus)) / elapsed.Seconds(),
+			Functions:      funcs,
+			NsPerFunction:  nsPerFunc,
+			AllocsPerFunc:  allocsPerFunc,
+			AllocBytesPerF: bytesPerFunc,
 			Failures:       failures,
 			DegradedFuncs:  degraded,
 			MeanImprovePct: mean,
@@ -202,4 +256,12 @@ func runBatch(cfg batchConfig) error {
 		return fmt.Errorf("batch: %d of %d entries failed", failures, len(corpus))
 	}
 	return nil
+}
+
+// sizeName canonicalizes the empty size to its meaning.
+func sizeName(s string) string {
+	if s == "" {
+		return "medium"
+	}
+	return s
 }

@@ -24,25 +24,50 @@ import (
 	"os"
 
 	"repro/internal/pipeline"
+	"repro/internal/profiling"
 	"repro/internal/report"
 )
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "table to regenerate: 1, 2, or 3 (0 = all)")
-		ablations = flag.Bool("ablations", false, "run only the ablation comparisons")
-		static    = flag.Bool("static-profile", false, "use the static loop-depth profile estimator")
-		paper     = flag.Bool("paper-formula", false, "use the paper's exact profit formula")
-		check     = flag.String("check", "off", "pipeline self-checking level: off, boundaries, or paranoid")
-		failFast  = flag.Bool("failfast", false, "abort on the first stage failure instead of degrading the function")
-		workers   = flag.Int("workers", 1, "per-program pipeline workers (0 = GOMAXPROCS, 1 = sequential)")
-		batch     = flag.Int("batch", -1, "batch mode: run the suite plus N generated stress programs (-1 = off, 0 = suite only)")
-		seed      = flag.Int64("seed", 1, "base seed for the generated batch corpus")
-		jobs      = flag.Int("j", 1, "batch mode: shard corpus entries across N goroutines")
-		timings   = flag.Bool("timings", false, "batch mode: print aggregated per-stage wall times")
-		jsonOut   = flag.String("json", "", "batch mode: write a machine-readable benchmark record to this file")
+		table      = flag.Int("table", 0, "table to regenerate: 1, 2, or 3 (0 = all)")
+		ablations  = flag.Bool("ablations", false, "run only the ablation comparisons")
+		static     = flag.Bool("static-profile", false, "use the static loop-depth profile estimator")
+		paper      = flag.Bool("paper-formula", false, "use the paper's exact profit formula")
+		check      = flag.String("check", "off", "pipeline self-checking level: off, boundaries, or paranoid")
+		failFast   = flag.Bool("failfast", false, "abort on the first stage failure instead of degrading the function")
+		workers    = flag.Int("workers", 1, "per-program pipeline workers (0 = GOMAXPROCS, 1 = sequential)")
+		batch      = flag.Int("batch", -1, "batch mode: run the suite plus N generated stress programs (-1 = off, 0 = suite only)")
+		seed       = flag.Int64("seed", 1, "base seed for the generated batch corpus")
+		size       = flag.String("size", "medium", "batch mode: generated workload size: small, medium, or large")
+		jobs       = flag.Int("j", 1, "batch mode: shard corpus entries across N goroutines")
+		legacy     = flag.Bool("legacy", false, "batch mode: run the pre-optimization paths (no analysis cache, map-based interpreter) as the benchmark baseline")
+		timings    = flag.Bool("timings", false, "batch mode: print aggregated per-stage wall times")
+		jsonOut    = flag.String("json", "", "batch mode: write a machine-readable benchmark record to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		fatal(err)
+	}
+	// Flushed both on the normal return path (deferred) and right before
+	// fatal exits, which bypass defers; the once-guard keeps the two
+	// paths from flushing twice.
+	flushed := false
+	finishProfiles := func() {
+		if flushed {
+			return
+		}
+		flushed = true
+		stopCPU()
+		if err := profiling.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "rpbench:", err)
+		}
+	}
+	defer finishProfiles()
 
 	checkLevel, err := pipeline.ParseCheckLevel(*check)
 	if err != nil {
@@ -60,12 +85,15 @@ func main() {
 		if err := runBatch(batchConfig{
 			Generated: *batch,
 			Seed:      *seed,
+			Size:      *size,
 			Jobs:      *jobs,
 			Workers:   *workers,
 			Check:     checkLevel,
+			Legacy:    *legacy,
 			Timings:   *timings,
 			JSONPath:  *jsonOut,
 		}); err != nil {
+			finishProfiles()
 			fatal(err)
 		}
 		return

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/pipeline"
+	"repro/internal/profiling"
 	"repro/internal/regalloc"
 	"repro/internal/report"
 	"repro/internal/workload"
@@ -45,8 +46,21 @@ func main() {
 		verbose     = flag.Bool("verbose-errors", false, "print the full stage failure report (stack and IR snapshot)")
 		workers     = flag.Int("workers", 1, "per-function transform workers (0 = GOMAXPROCS, 1 = sequential)")
 		timings     = flag.Bool("timings", false, "print per-stage wall times")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		fatal(err, false)
+	}
+	defer func() {
+		stopCPU()
+		if err := profiling.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "rpromote:", err)
+		}
+	}()
 
 	checkLevel, err := pipeline.ParseCheckLevel(*check)
 	if err != nil {

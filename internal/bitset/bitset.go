@@ -1,0 +1,118 @@
+// Package bitset provides the two small set representations the dense
+// CFG analyses are built on: a Dense bitset (one bit per element, cheap
+// to test, O(capacity/64) to clear) and a Sparse set (the classic
+// sparse/dense array pair: O(1) add, membership, and clear, at the cost
+// of two ints per capacity slot). Both index elements by small
+// non-negative ints — block IDs or reverse-postorder numbers.
+//
+// Neither type grows automatically on Add/Set: capacity is fixed at
+// construction, which is exactly the dense-numbering contract
+// (ir.Function.Renumber) the analyses rely on. Grow exists for the few
+// callers whose element bound changes mid-analysis.
+package bitset
+
+import "math/bits"
+
+// Dense is a fixed-capacity bitset over [0, Cap).
+type Dense struct {
+	words []uint64
+	n     int
+}
+
+// NewDense returns a Dense bitset with capacity n (elements 0..n-1).
+func NewDense(n int) *Dense {
+	return &Dense{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Cap returns the capacity the set was constructed with.
+func (d *Dense) Cap() int { return d.n }
+
+// Set adds i to the set.
+func (d *Dense) Set(i int) { d.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear removes i from the set.
+func (d *Dense) Clear(i int) { d.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports whether i is in the set.
+func (d *Dense) Has(i int) bool {
+	if i < 0 || i >= d.n {
+		return false
+	}
+	return d.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Reset removes every element.
+func (d *Dense) Reset() {
+	for i := range d.words {
+		d.words[i] = 0
+	}
+}
+
+// Grow extends the capacity to at least n, preserving membership.
+func (d *Dense) Grow(n int) {
+	if n <= d.n {
+		return
+	}
+	need := (n + 63) / 64
+	if need > len(d.words) {
+		w := make([]uint64, need)
+		copy(w, d.words)
+		d.words = w
+	}
+	d.n = n
+}
+
+// Count returns the number of elements in the set.
+func (d *Dense) Count() int {
+	c := 0
+	for _, w := range d.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Sparse is a fixed-capacity sparse set over [0, Cap): add, membership,
+// and whole-set clear are all O(1), and iteration touches only members.
+// The zero-initialization trick (Briggs–Torczon) means construction is
+// two allocations and no writes.
+type Sparse struct {
+	dense  []int32 // members, in insertion order
+	sparse []int32 // sparse[v] = index of v in dense, if a member
+}
+
+// NewSparse returns a Sparse set with capacity n (elements 0..n-1).
+func NewSparse(n int) *Sparse {
+	return &Sparse{dense: make([]int32, 0, n), sparse: make([]int32, n)}
+}
+
+// Cap returns the capacity the set was constructed with.
+func (s *Sparse) Cap() int { return len(s.sparse) }
+
+// Len returns the number of members.
+func (s *Sparse) Len() int { return len(s.dense) }
+
+// Has reports whether i is a member.
+func (s *Sparse) Has(i int) bool {
+	if i < 0 || i >= len(s.sparse) {
+		return false
+	}
+	j := s.sparse[i]
+	return int(j) < len(s.dense) && s.dense[j] == int32(i)
+}
+
+// Add inserts i, reporting whether it was newly added.
+func (s *Sparse) Add(i int) bool {
+	if s.Has(i) {
+		return false
+	}
+	s.sparse[i] = int32(len(s.dense))
+	s.dense = append(s.dense, int32(i))
+	return true
+}
+
+// Members returns the members in insertion order. The slice aliases the
+// set's storage: it is valid until the next Add or Reset.
+func (s *Sparse) Members() []int32 { return s.dense }
+
+// Reset removes every member in O(1).
+func (s *Sparse) Reset() { s.dense = s.dense[:0] }

@@ -1,0 +1,114 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDenseBasics(t *testing.T) {
+	d := NewDense(130)
+	if d.Cap() != 130 {
+		t.Fatalf("Cap = %d, want 130", d.Cap())
+	}
+	for _, i := range []int{0, 1, 63, 64, 127, 129} {
+		if d.Has(i) {
+			t.Fatalf("fresh set has %d", i)
+		}
+		d.Set(i)
+		if !d.Has(i) {
+			t.Fatalf("Set(%d) not visible", i)
+		}
+	}
+	if d.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", d.Count())
+	}
+	d.Clear(64)
+	if d.Has(64) || d.Count() != 5 {
+		t.Fatalf("Clear(64) failed: has=%v count=%d", d.Has(64), d.Count())
+	}
+	if d.Has(-1) || d.Has(130) {
+		t.Fatal("out-of-range Has must be false")
+	}
+	d.Reset()
+	if d.Count() != 0 {
+		t.Fatalf("Count after Reset = %d", d.Count())
+	}
+}
+
+func TestDenseGrow(t *testing.T) {
+	d := NewDense(10)
+	d.Set(3)
+	d.Grow(200)
+	if !d.Has(3) {
+		t.Fatal("Grow lost membership")
+	}
+	d.Set(199)
+	if !d.Has(199) || d.Count() != 2 {
+		t.Fatalf("after grow: has(199)=%v count=%d", d.Has(199), d.Count())
+	}
+	d.Grow(5) // no-op shrink attempt
+	if d.Cap() != 200 {
+		t.Fatalf("Grow shrank capacity to %d", d.Cap())
+	}
+}
+
+func TestSparseBasics(t *testing.T) {
+	s := NewSparse(64)
+	if s.Has(0) || s.Len() != 0 {
+		t.Fatal("fresh sparse set not empty")
+	}
+	if !s.Add(5) || !s.Add(0) || !s.Add(63) {
+		t.Fatal("Add of new element returned false")
+	}
+	if s.Add(5) {
+		t.Fatal("Add of existing element returned true")
+	}
+	if s.Len() != 3 || !s.Has(5) || !s.Has(0) || !s.Has(63) || s.Has(7) {
+		t.Fatalf("membership wrong: len=%d", s.Len())
+	}
+	got := s.Members()
+	want := []int32{5, 0, 63}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Has(5) {
+		t.Fatal("Reset did not clear")
+	}
+	// Reuse after Reset must behave identically (the Briggs–Torczon
+	// stale-sparse-entry case).
+	if !s.Add(5) || s.Len() != 1 {
+		t.Fatal("Add after Reset failed")
+	}
+}
+
+// TestSparseVsDenseRandom cross-checks the two implementations under a
+// random operation stream.
+func TestSparseVsDenseRandom(t *testing.T) {
+	const n = 256
+	rng := rand.New(rand.NewSource(1))
+	s := NewSparse(n)
+	d := NewDense(n)
+	for op := 0; op < 10000; op++ {
+		v := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			s.Add(v)
+			d.Set(v)
+		case 1:
+			if s.Has(v) != d.Has(v) {
+				t.Fatalf("op %d: Has(%d) disagree", op, v)
+			}
+		case 2:
+			if rng.Intn(50) == 0 {
+				s.Reset()
+				d.Reset()
+			}
+		}
+	}
+	if s.Len() != d.Count() {
+		t.Fatalf("cardinality disagree: sparse %d dense %d", s.Len(), d.Count())
+	}
+}

@@ -154,16 +154,16 @@ func TestDominanceFrontiersDiamond(t *testing.T) {
 	f := buildGraph(t, 4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
 	dom := BuildDomTree(f)
 	df := BuildDomFrontiers(dom)
-	if got := df[block(f, 1)]; len(got) != 1 || got[0] != block(f, 3) {
+	if got := df.Of(block(f, 1)); len(got) != 1 || got[0] != block(f, 3) {
 		t.Errorf("DF(b1) = %v, want [b3]", got)
 	}
-	if got := df[block(f, 2)]; len(got) != 1 || got[0] != block(f, 3) {
+	if got := df.Of(block(f, 2)); len(got) != 1 || got[0] != block(f, 3) {
 		t.Errorf("DF(b2) = %v, want [b3]", got)
 	}
-	if got := df[block(f, 0)]; len(got) != 0 {
+	if got := df.Of(block(f, 0)); len(got) != 0 {
 		t.Errorf("DF(b0) = %v, want empty", got)
 	}
-	if got := df[block(f, 3)]; len(got) != 0 {
+	if got := df.Of(block(f, 3)); len(got) != 0 {
 		t.Errorf("DF(b3) = %v, want empty", got)
 	}
 }
@@ -174,13 +174,13 @@ func TestDominanceFrontierLoopHeader(t *testing.T) {
 	dom := BuildDomTree(f)
 	df := BuildDomFrontiers(dom)
 	found := false
-	for _, b := range df[block(f, 2)] {
+	for _, b := range df.Of(block(f, 2)) {
 		if b == block(f, 1) {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("DF(b2) = %v, want to contain b1", df[block(f, 2)])
+		t.Errorf("DF(b2) = %v, want to contain b1", df.Of(block(f, 2)))
 	}
 }
 

@@ -1,27 +1,40 @@
 package cfg
 
-import "repro/internal/ir"
+import (
+	"repro/internal/bitset"
+	"repro/internal/ir"
+)
 
-// DomFrontiers maps each block to its dominance frontier.
-type DomFrontiers map[*ir.Block][]*ir.Block
+// DomFrontiers holds each block's dominance frontier, indexed by
+// ir.BlockID. The zero value is empty; pass DomFrontiers by value (it
+// is two words).
+type DomFrontiers struct {
+	f  *ir.Function
+	of [][]*ir.Block
+}
+
+// Of returns the dominance frontier of b (nil for unreachable blocks or
+// blocks created after the analysis was built).
+func (d DomFrontiers) Of(b *ir.Block) []*ir.Block {
+	if int(b.ID) >= len(d.of) {
+		return nil
+	}
+	return d.of[b.ID]
+}
+
+// Func returns the function the frontiers were built for.
+func (d DomFrontiers) Func() *ir.Function { return d.f }
+
+// Valid reports whether the frontiers were actually built (the zero
+// value is not valid). Callers accepting an optional DomFrontiers use
+// this to distinguish "not supplied" from "supplied but empty".
+func (d DomFrontiers) Valid() bool { return d.f != nil }
 
 // BuildDomFrontiers computes dominance frontiers with the Cytron et al.
 // two-pointer walk: for every join block b, each predecessor p and every
 // dominator of p up to (but excluding) idom(b) has b in its frontier.
 func BuildDomFrontiers(t *DomTree) DomFrontiers {
-	df := make(DomFrontiers)
-	inDF := make(map[*ir.Block]map[*ir.Block]bool)
-	add := func(runner, b *ir.Block) {
-		set := inDF[runner]
-		if set == nil {
-			set = make(map[*ir.Block]bool)
-			inDF[runner] = set
-		}
-		if !set[b] {
-			set[b] = true
-			df[runner] = append(df[runner], b)
-		}
-	}
+	df := DomFrontiers{f: t.f, of: make([][]*ir.Block, int(t.f.BlockIDBound()))}
 	for _, b := range t.RPO() {
 		if len(b.Preds) < 2 {
 			continue
@@ -30,10 +43,13 @@ func BuildDomFrontiers(t *DomTree) DomFrontiers {
 			if t.RPOIndex(p) < 0 {
 				continue
 			}
-			runner := p
-			for runner != t.Idom(b) {
-				add(runner, b)
-				runner = t.Idom(runner)
+			for runner := p; runner != t.Idom(b); runner = t.Idom(runner) {
+				// The join b is fixed while its preds are walked, so a
+				// duplicate can only be the most recent append.
+				fr := df.of[runner.ID]
+				if n := len(fr); n == 0 || fr[n-1] != b {
+					df.of[runner.ID] = append(fr, b)
+				}
 			}
 		}
 	}
@@ -47,25 +63,29 @@ func BuildDomFrontiers(t *DomTree) DomFrontiers {
 // IDF computation for all cloned definitions, standing in for the
 // Sreedhar–Gao linear-time placement it cites).
 func IteratedDF(df DomFrontiers, defs []*ir.Block) []*ir.Block {
-	inResult := make(map[*ir.Block]bool)
-	queued := make(map[*ir.Block]bool)
+	if len(defs) == 0 {
+		return nil
+	}
+	bound := len(df.of)
+	inResult := bitset.NewDense(bound)
+	queued := bitset.NewDense(bound)
 	var result []*ir.Block
 	work := make([]*ir.Block, 0, len(defs))
 	for _, d := range defs {
-		if !queued[d] {
-			queued[d] = true
+		if !queued.Has(int(d.ID)) {
+			queued.Set(int(d.ID))
 			work = append(work, d)
 		}
 	}
 	for len(work) > 0 {
 		b := work[len(work)-1]
 		work = work[:len(work)-1]
-		for _, fb := range df[b] {
-			if !inResult[fb] {
-				inResult[fb] = true
+		for _, fb := range df.Of(b) {
+			if !inResult.Has(int(fb.ID)) {
+				inResult.Set(int(fb.ID))
 				result = append(result, fb)
-				if !queued[fb] {
-					queued[fb] = true
+				if !queued.Has(int(fb.ID)) {
+					queued.Set(int(fb.ID))
 					work = append(work, fb)
 				}
 			}

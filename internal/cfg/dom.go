@@ -4,39 +4,61 @@ import "repro/internal/ir"
 
 // DomTree is the dominator tree of a function, built with the
 // Cooper–Harvey–Kennedy iterative algorithm over reverse postorder.
+// All per-block state is held in slices indexed by ir.BlockID, and the
+// tree is preorder in/out numbered so Dominates answers in O(1).
 type DomTree struct {
-	f        *ir.Function
-	rpo      []*ir.Block
-	rpoIndex map[*ir.Block]int
-	idom     map[*ir.Block]*ir.Block
-	children map[*ir.Block][]*ir.Block
-	depth    map[*ir.Block]int
+	f   *ir.Function
+	rpo []*ir.Block
+
+	// All of the following are indexed by ir.BlockID. Unreachable blocks
+	// have rpoIndex -1 and nil idom.
+	rpoIndex []int32
+	idom     []*ir.Block
+	children [][]*ir.Block
+	depth    []int32
+
+	// Euler tour numbering of the dominator tree: a dominates b iff
+	// pre[a] <= pre[b] && post[b] <= post[a].
+	pre, post []int32
 }
 
 // BuildDomTree computes the dominator tree of f. Unreachable blocks are
 // ignored; callers normally run RemoveUnreachable first.
 func BuildDomTree(f *ir.Function) *DomTree {
+	bound := int(f.BlockIDBound())
 	t := &DomTree{
 		f:        f,
 		rpo:      ReversePostorder(f),
-		rpoIndex: make(map[*ir.Block]int),
-		idom:     make(map[*ir.Block]*ir.Block),
-		children: make(map[*ir.Block][]*ir.Block),
-		depth:    make(map[*ir.Block]int),
+		rpoIndex: make([]int32, bound),
+		idom:     make([]*ir.Block, bound),
+		children: make([][]*ir.Block, bound),
+		depth:    make([]int32, bound),
+		pre:      make([]int32, bound),
+		post:     make([]int32, bound),
+	}
+	for i := range t.rpoIndex {
+		t.rpoIndex[i] = -1
 	}
 	for i, b := range t.rpo {
-		t.rpoIndex[b] = i
+		t.rpoIndex[b.ID] = int32(i)
 	}
-	entry := f.Entry()
-	t.idom[entry] = entry
 
-	intersect := func(a, b *ir.Block) *ir.Block {
+	// The fixed point runs entirely on RPO numbers: doms[i] is the RPO
+	// number of rpo[i]'s candidate idom, -1 while unprocessed.
+	n := len(t.rpo)
+	doms := make([]int32, n)
+	for i := range doms {
+		doms[i] = -1
+	}
+	doms[0] = 0
+
+	intersect := func(a, b int32) int32 {
 		for a != b {
-			for t.rpoIndex[a] > t.rpoIndex[b] {
-				a = t.idom[a]
+			for a > b {
+				a = doms[a]
 			}
-			for t.rpoIndex[b] > t.rpoIndex[a] {
-				b = t.idom[b]
+			for b > a {
+				b = doms[b]
 			}
 		}
 		return a
@@ -44,71 +66,119 @@ func BuildDomTree(f *ir.Function) *DomTree {
 
 	for changed := true; changed; {
 		changed = false
-		for _, b := range t.rpo[1:] {
-			var newIdom *ir.Block
-			for _, p := range b.Preds {
-				if _, ok := t.rpoIndex[p]; !ok {
-					continue // unreachable predecessor
+		for i := 1; i < n; i++ {
+			newIdom := int32(-1)
+			for _, p := range t.rpo[i].Preds {
+				pi := t.rpoIndex[p.ID]
+				if pi < 0 || doms[pi] < 0 {
+					continue // unreachable, or not yet processed this round
 				}
-				if t.idom[p] == nil {
-					continue // not yet processed this round
-				}
-				if newIdom == nil {
-					newIdom = p
+				if newIdom < 0 {
+					newIdom = pi
 				} else {
-					newIdom = intersect(p, newIdom)
+					newIdom = intersect(pi, newIdom)
 				}
 			}
-			if newIdom != nil && t.idom[b] != newIdom {
-				t.idom[b] = newIdom
+			if newIdom >= 0 && doms[i] != newIdom {
+				doms[i] = newIdom
 				changed = true
 			}
 		}
 	}
 
+	for i, b := range t.rpo {
+		t.idom[b.ID] = t.rpo[doms[i]]
+	}
 	for _, b := range t.rpo[1:] {
-		t.children[t.idom[b]] = append(t.children[t.idom[b]], b)
+		id := t.idom[b.ID]
+		t.children[id.ID] = append(t.children[id.ID], b)
 	}
 	// Depths in RPO order: idom always precedes its children in RPO.
 	for _, b := range t.rpo[1:] {
-		t.depth[b] = t.depth[t.idom[b]] + 1
+		t.depth[b.ID] = t.depth[t.idom[b.ID].ID] + 1
 	}
+	t.number()
 	return t
 }
 
+// number assigns the Euler preorder in/out numbers by an iterative DFS
+// over dominator-tree children.
+func (t *DomTree) number() {
+	type frame struct {
+		b *ir.Block
+		i int
+	}
+	var clock int32
+	stack := []frame{{b: t.rpo[0]}}
+	t.pre[t.rpo[0].ID] = 0
+	clock = 1
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		kids := t.children[top.b.ID]
+		if top.i < len(kids) {
+			c := kids[top.i]
+			top.i++
+			t.pre[c.ID] = clock
+			clock++
+			stack = append(stack, frame{b: c})
+			continue
+		}
+		t.post[top.b.ID] = clock
+		clock++
+		stack = stack[:len(stack)-1]
+	}
+}
+
+// Func returns the function the tree was built for.
+func (t *DomTree) Func() *ir.Function { return t.f }
+
 // Idom returns the immediate dominator of b; the entry block returns
-// itself.
-func (t *DomTree) Idom(b *ir.Block) *ir.Block { return t.idom[b] }
+// itself. Unreachable blocks return nil.
+func (t *DomTree) Idom(b *ir.Block) *ir.Block {
+	if int(b.ID) >= len(t.idom) {
+		return nil
+	}
+	return t.idom[b.ID]
+}
 
 // Children returns the dominator-tree children of b.
-func (t *DomTree) Children(b *ir.Block) []*ir.Block { return t.children[b] }
+func (t *DomTree) Children(b *ir.Block) []*ir.Block {
+	if int(b.ID) >= len(t.children) {
+		return nil
+	}
+	return t.children[b.ID]
+}
 
 // Depth returns the dominator-tree depth of b (entry = 0).
-func (t *DomTree) Depth(b *ir.Block) int { return t.depth[b] }
+func (t *DomTree) Depth(b *ir.Block) int {
+	if int(b.ID) >= len(t.depth) {
+		return 0
+	}
+	return int(t.depth[b.ID])
+}
 
 // RPO returns the reverse postorder the tree was built over.
 func (t *DomTree) RPO() []*ir.Block { return t.rpo }
 
 // RPOIndex returns b's reverse-postorder number, or -1 if unreachable.
 func (t *DomTree) RPOIndex(b *ir.Block) int {
-	if i, ok := t.rpoIndex[b]; ok {
-		return i
+	if int(b.ID) >= len(t.rpoIndex) {
+		return -1
 	}
-	return -1
+	return int(t.rpoIndex[b.ID])
 }
 
-// Dominates reports whether a dominates b (reflexively).
+// Dominates reports whether a dominates b (reflexively). The query is
+// O(1): it compares Euler in/out numbers instead of walking the idom
+// chain.
 func (t *DomTree) Dominates(a, b *ir.Block) bool {
-	for {
-		if a == b {
-			return true
-		}
-		next := t.idom[b]
-		if next == nil || next == b {
-			return false
-		}
-		b = next
+	if a == b {
+		return true
 	}
+	if t.RPOIndex(a) < 0 || t.RPOIndex(b) < 0 {
+		return false
+	}
+	return t.pre[a.ID] <= t.pre[b.ID] && t.post[b.ID] <= t.post[a.ID]
 }
 
 // StrictlyDominates reports whether a dominates b and a != b.
@@ -119,15 +189,15 @@ func (t *DomTree) StrictlyDominates(a, b *ir.Block) bool {
 // LCA returns the least common ancestor of a and b in the dominator
 // tree: the deepest block that dominates both.
 func (t *DomTree) LCA(a, b *ir.Block) *ir.Block {
-	for t.depth[a] > t.depth[b] {
-		a = t.idom[a]
+	for t.Depth(a) > t.Depth(b) {
+		a = t.idom[a.ID]
 	}
-	for t.depth[b] > t.depth[a] {
-		b = t.idom[b]
+	for t.Depth(b) > t.Depth(a) {
+		b = t.idom[b.ID]
 	}
 	for a != b {
-		a = t.idom[a]
-		b = t.idom[b]
+		a = t.idom[a.ID]
+		b = t.idom[b.ID]
 	}
 	return a
 }

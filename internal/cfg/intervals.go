@@ -3,6 +3,7 @@ package cfg
 import (
 	"sort"
 
+	"repro/internal/bitset"
 	"repro/internal/ir"
 )
 
@@ -40,7 +41,7 @@ type Interval struct {
 	// incoming edge.
 	ExitEdges []ExitEdge
 
-	blockSet map[*ir.Block]bool
+	blockSet *bitset.Dense // membership by ir.BlockID
 }
 
 // ExitEdge is an edge from a block inside an interval to one outside.
@@ -56,7 +57,7 @@ func (iv *Interval) Proper() bool { return len(iv.Entries) == 1 }
 
 // Contains reports whether b belongs to the interval (including nested
 // children).
-func (iv *Interval) Contains(b *ir.Block) bool { return iv.blockSet[b] }
+func (iv *Interval) Contains(b *ir.Block) bool { return iv.blockSet.Has(int(b.ID)) }
 
 // Walk visits the interval and its descendants bottom-up (children
 // before parents), the traversal order of the promotion driver.
@@ -71,13 +72,20 @@ func (iv *Interval) Walk(visit func(*Interval)) {
 type Forest struct {
 	// Root is the whole-function pseudo-interval.
 	Root *Interval
-	// innermost maps each block to the innermost interval containing it.
-	innermost map[*ir.Block]*Interval
+	// innermost[id] is the innermost interval containing the block with
+	// that ID (nil for unreachable blocks).
+	innermost []*Interval
 }
 
 // InnermostInterval returns the innermost interval containing b (the
-// root pseudo-interval if b is in no loop).
-func (fo *Forest) InnermostInterval(b *ir.Block) *Interval { return fo.innermost[b] }
+// root pseudo-interval if b is in no loop, nil if b is unreachable or
+// was created after the forest was built).
+func (fo *Forest) InnermostInterval(b *ir.Block) *Interval {
+	if int(b.ID) >= len(fo.innermost) {
+		return nil
+	}
+	return fo.innermost[b.ID]
+}
 
 // BuildIntervals computes the interval forest of f using nested
 // strongly-connected-component decomposition: every non-trivial SCC of
@@ -85,10 +93,14 @@ func (fo *Forest) InnermostInterval(b *ir.Block) *Interval { return fo.innermost
 // inside exposes nested intervals. This handles improper (multi-entry,
 // irreducible) regions uniformly.
 func BuildIntervals(f *ir.Function) *Forest {
+	bound := int(f.BlockIDBound())
 	rpo := ReversePostorder(f)
-	rpoIdx := make(map[*ir.Block]int, len(rpo))
+	rpoIdx := make([]int32, bound)
+	for i := range rpoIdx {
+		rpoIdx[i] = -1
+	}
 	for i, b := range rpo {
-		rpoIdx[b] = i
+		rpoIdx[b.ID] = int32(i)
 	}
 
 	root := &Interval{
@@ -96,41 +108,42 @@ func BuildIntervals(f *ir.Function) *Forest {
 		Entries:  []*ir.Block{f.Entry()},
 		Blocks:   rpo,
 		Root:     true,
-		blockSet: make(map[*ir.Block]bool, len(rpo)),
+		blockSet: bitset.NewDense(bound),
 	}
 	for _, b := range rpo {
-		root.blockSet[b] = true
+		root.blockSet.Set(int(b.ID))
 	}
-	fo := &Forest{Root: root, innermost: make(map[*ir.Block]*Interval, len(rpo))}
+	fo := &Forest{Root: root, innermost: make([]*Interval, bound)}
 	for _, b := range rpo {
-		fo.innermost[b] = root
+		fo.innermost[b.ID] = root
 	}
 
-	var decompose func(parent *Interval, nodes []*ir.Block, inScope map[*ir.Block]bool)
-	decompose = func(parent *Interval, nodes []*ir.Block, inScope map[*ir.Block]bool) {
-		for _, scc := range stronglyConnected(nodes, inScope) {
+	scratch := newSCCState(bound)
+	var decompose func(parent *Interval, nodes []*ir.Block, inScope *bitset.Dense)
+	decompose = func(parent *Interval, nodes []*ir.Block, inScope *bitset.Dense) {
+		for _, scc := range scratch.run(nodes, inScope) {
 			if len(scc) == 1 && !hasSelfLoop(scc[0]) {
 				continue
 			}
-			iv := newInterval(scc, rpoIdx)
+			iv := newInterval(scc, rpoIdx, bound)
 			iv.Parent = parent
 			iv.Depth = parent.Depth + 1
 			parent.Children = append(parent.Children, iv)
 			for _, b := range iv.Blocks {
-				fo.innermost[b] = iv
+				fo.innermost[b.ID] = iv
 			}
 			// Recurse inside, with the entries removed, to find nested
 			// intervals.
-			inner := make(map[*ir.Block]bool, len(scc))
+			inner := bitset.NewDense(bound)
 			for _, b := range scc {
-				inner[b] = true
+				inner.Set(int(b.ID))
 			}
 			for _, e := range iv.Entries {
-				delete(inner, e)
+				inner.Clear(int(e.ID))
 			}
 			var innerNodes []*ir.Block
 			for _, b := range iv.Blocks {
-				if inner[b] {
+				if inner.Has(int(b.ID)) {
 					innerNodes = append(innerNodes, b)
 				}
 			}
@@ -143,8 +156,8 @@ func BuildIntervals(f *ir.Function) *Forest {
 	var fixInnermost func(iv *Interval)
 	fixInnermost = func(iv *Interval) {
 		for _, b := range iv.Blocks {
-			if fo.innermost[b].Depth < iv.Depth {
-				fo.innermost[b] = iv
+			if fo.innermost[b.ID].Depth < iv.Depth {
+				fo.innermost[b.ID] = iv
 			}
 		}
 		for _, c := range iv.Children {
@@ -157,16 +170,16 @@ func BuildIntervals(f *ir.Function) *Forest {
 	return fo
 }
 
-func newInterval(scc []*ir.Block, rpoIdx map[*ir.Block]int) *Interval {
-	iv := &Interval{blockSet: make(map[*ir.Block]bool, len(scc))}
+func newInterval(scc []*ir.Block, rpoIdx []int32, bound int) *Interval {
+	iv := &Interval{blockSet: bitset.NewDense(bound)}
 	for _, b := range scc {
-		iv.blockSet[b] = true
+		iv.blockSet.Set(int(b.ID))
 	}
-	sort.Slice(scc, func(i, j int) bool { return rpoIdx[scc[i]] < rpoIdx[scc[j]] })
+	sort.Slice(scc, func(i, j int) bool { return rpoIdx[scc[i].ID] < rpoIdx[scc[j].ID] })
 	iv.Blocks = scc
 	for _, b := range scc {
 		for _, p := range b.Preds {
-			if !iv.blockSet[p] {
+			if !iv.blockSet.Has(int(p.ID)) {
 				iv.Entries = append(iv.Entries, b)
 				break
 			}
@@ -199,51 +212,75 @@ func computeExitEdges(iv *Interval) {
 	iv.ExitEdges = iv.ExitEdges[:0]
 	for _, b := range iv.Blocks {
 		for _, s := range b.Succs {
-			if !iv.blockSet[s] {
+			if !iv.blockSet.Has(int(s.ID)) {
 				iv.ExitEdges = append(iv.ExitEdges, ExitEdge{From: b, Tail: s})
 			}
 		}
 	}
 }
 
-// stronglyConnected returns the non-trivial-or-singleton SCCs of the
-// subgraph induced by nodes (edges restricted to inScope), in an order
-// where each SCC's members keep their input order stability via Tarjan's
-// algorithm.
-func stronglyConnected(nodes []*ir.Block, inScope map[*ir.Block]bool) [][]*ir.Block {
-	index := make(map[*ir.Block]int, len(nodes))
-	low := make(map[*ir.Block]int, len(nodes))
-	onStack := make(map[*ir.Block]bool, len(nodes))
-	var stack []*ir.Block
+// sccState is the reusable scratch state of Tarjan's algorithm, sized
+// once per BuildIntervals call and reset (O(nodes visited)) between
+// nested runs instead of reallocating maps.
+type sccState struct {
+	index   []int32 // -1 = unvisited
+	low     []int32
+	onStack *bitset.Dense
+	stack   []*ir.Block
+	next    int32
+}
+
+func newSCCState(bound int) *sccState {
+	s := &sccState{
+		index:   make([]int32, bound),
+		low:     make([]int32, bound),
+		onStack: bitset.NewDense(bound),
+	}
+	for i := range s.index {
+		s.index[i] = -1
+	}
+	return s
+}
+
+// run returns the SCCs of the subgraph induced by nodes (edges
+// restricted to inScope) via Tarjan's algorithm, with each SCC's
+// members in stack-pop order as in the classic formulation.
+func (s *sccState) run(nodes []*ir.Block, inScope *bitset.Dense) [][]*ir.Block {
+	// Reset only the entries the previous run touched.
+	for _, v := range nodes {
+		s.index[v.ID] = -1
+		s.onStack.Clear(int(v.ID))
+	}
+	s.stack = s.stack[:0]
+	s.next = 0
 	var sccs [][]*ir.Block
-	next := 0
 
 	var strong func(v *ir.Block)
 	strong = func(v *ir.Block) {
-		index[v] = next
-		low[v] = next
-		next++
-		stack = append(stack, v)
-		onStack[v] = true
+		s.index[v.ID] = s.next
+		s.low[v.ID] = s.next
+		s.next++
+		s.stack = append(s.stack, v)
+		s.onStack.Set(int(v.ID))
 		for _, w := range v.Succs {
-			if !inScope[w] {
+			if !inScope.Has(int(w.ID)) {
 				continue
 			}
-			if _, seen := index[w]; !seen {
+			if s.index[w.ID] < 0 {
 				strong(w)
-				if low[w] < low[v] {
-					low[v] = low[w]
+				if s.low[w.ID] < s.low[v.ID] {
+					s.low[v.ID] = s.low[w.ID]
 				}
-			} else if onStack[w] && index[w] < low[v] {
-				low[v] = index[w]
+			} else if s.onStack.Has(int(w.ID)) && s.index[w.ID] < s.low[v.ID] {
+				s.low[v.ID] = s.index[w.ID]
 			}
 		}
-		if low[v] == index[v] {
+		if s.low[v.ID] == s.index[v.ID] {
 			var scc []*ir.Block
 			for {
-				w := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				onStack[w] = false
+				w := s.stack[len(s.stack)-1]
+				s.stack = s.stack[:len(s.stack)-1]
+				s.onStack.Clear(int(w.ID))
 				scc = append(scc, w)
 				if w == v {
 					break
@@ -253,7 +290,7 @@ func stronglyConnected(nodes []*ir.Block, inScope map[*ir.Block]bool) [][]*ir.Bl
 		}
 	}
 	for _, v := range nodes {
-		if _, seen := index[v]; !seen {
+		if s.index[v.ID] < 0 {
 			strong(v)
 		}
 	}

@@ -49,6 +49,13 @@ func SplitCriticalEdges(f *ir.Function) int {
 // does not update phis when retargeting entry edges).
 func Normalize(f *ir.Function) (*Forest, error) {
 	RemoveUnreachable(f)
+	// Re-establish dense block numbering once, before anything keyed on
+	// block IDs exists. Every block Normalize adds below gets the next
+	// sequential ID, so density survives, and both the baseline and the
+	// promoted compile of the same source (and a TrainSrc variant with
+	// the same structure) end up with identical IDs — the property the
+	// profile relies on.
+	f.Renumber()
 	SplitCriticalEdges(f)
 
 	var forest *Forest
@@ -110,6 +117,10 @@ func insertPreheader(f *ir.Function, iv *Interval) bool {
 			}
 		}
 	}
+	// The rewiring above edits Preds/Succs directly, so bump the CFG
+	// version explicitly (the NewBlock/AddEdge bumps alone would also
+	// invalidate, but the contract is per mutation point).
+	f.MarkCFGChanged()
 	ir.AddEdge(pre, header)
 	return true
 }

@@ -136,7 +136,7 @@ func TestQuickDominanceFrontierDefinition(t *testing.T) {
 		df := BuildDomFrontiers(dom)
 
 		inDF := func(a, b *ir.Block) bool {
-			for _, x := range df[a] {
+			for _, x := range df.Of(a) {
 				if x == b {
 					return true
 				}

@@ -5,27 +5,49 @@
 // the CFG normalizations that paper assumes: no critical entry or exit
 // edges, a dedicated preheader per interval, and a dedicated tail block
 // per interval exit edge.
+//
+// The analyses index their state by ir.BlockID, sizing slices with
+// ir.Function.BlockIDBound — the dense-numbering contract established
+// by ir.Function.Renumber (DESIGN.md §8). IDs need not be gap-free for
+// correctness, only bounded; density just keeps the slices tight.
 package cfg
 
-import "repro/internal/ir"
+import (
+	"repro/internal/bitset"
+	"repro/internal/ir"
+)
 
 // ReversePostorder returns the blocks of f reachable from the entry in
 // reverse postorder of a depth-first search. Unreachable blocks are
 // omitted.
 func ReversePostorder(f *ir.Function) []*ir.Block {
-	seen := make(map[*ir.Block]bool, len(f.Blocks))
+	seen := bitset.NewDense(int(f.BlockIDBound()))
 	post := make([]*ir.Block, 0, len(f.Blocks))
-	var dfs func(b *ir.Block)
-	dfs = func(b *ir.Block) {
-		seen[b] = true
-		for _, s := range b.Succs {
-			if !seen[s] {
-				dfs(s)
-			}
-		}
-		post = append(post, b)
+
+	// Iterative DFS; frame holds the block and the next successor index
+	// to visit, so post-order positions match the recursive formulation.
+	type frame struct {
+		b *ir.Block
+		i int
 	}
-	dfs(f.Entry())
+	stack := make([]frame, 0, len(f.Blocks))
+	entry := f.Entry()
+	seen.Set(int(entry.ID))
+	stack = append(stack, frame{b: entry})
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.i < len(top.b.Succs) {
+			s := top.b.Succs[top.i]
+			top.i++
+			if !seen.Has(int(s.ID)) {
+				seen.Set(int(s.ID))
+				stack = append(stack, frame{b: s})
+			}
+			continue
+		}
+		post = append(post, top.b)
+		stack = stack[:len(stack)-1]
+	}
 	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
 		post[i], post[j] = post[j], post[i]
 	}
@@ -34,31 +56,36 @@ func ReversePostorder(f *ir.Function) []*ir.Block {
 
 // RemoveUnreachable deletes blocks not reachable from the entry,
 // unlinking their edges (and trimming phi arguments in reachable
-// successors).
+// successors). The CFG version is bumped only when a block is actually
+// removed, so the no-op call on an already-clean graph keeps cached
+// analyses valid.
 func RemoveUnreachable(f *ir.Function) int {
-	reach := make(map[*ir.Block]bool, len(f.Blocks))
+	reach := bitset.NewDense(int(f.BlockIDBound()))
 	for _, b := range ReversePostorder(f) {
-		reach[b] = true
+		reach.Set(int(b.ID))
 	}
 	removed := 0
 	for _, b := range f.Blocks {
-		if reach[b] {
+		if reach.Has(int(b.ID)) {
 			continue
 		}
 		for _, s := range b.Succs {
-			if reach[s] {
+			if reach.Has(int(s.ID)) {
 				s.RemovePred(b)
 			}
 		}
 	}
 	kept := f.Blocks[:0]
 	for _, b := range f.Blocks {
-		if reach[b] {
+		if reach.Has(int(b.ID)) {
 			kept = append(kept, b)
 		} else {
 			removed++
 		}
 	}
 	f.Blocks = kept
+	if removed > 0 {
+		f.MarkCFGChanged()
+	}
 	return removed
 }

@@ -81,6 +81,11 @@ type Config struct {
 	// leaving the transformation residue visible (used by tests that
 	// inspect intermediate structure).
 	KeepCleanupResidue bool
+	// Dom and DF optionally supply prebuilt analyses of f's current CFG
+	// (the pipeline passes them from its analysis cache). When Dom is
+	// nil or DF is invalid, PromoteFunction computes its own.
+	Dom *cfg.DomTree
+	DF  cfg.DomFrontiers
 }
 
 // Stats reports what promotion did to one function.
@@ -122,8 +127,14 @@ func PromoteFunction(f *ir.Function, forest *cfg.Forest, config Config) (*Stats,
 		config: config,
 		stats:  &Stats{},
 	}
-	p.dom = cfg.BuildDomTree(f)
-	p.df = cfg.BuildDomFrontiers(p.dom)
+	p.dom = config.Dom
+	if p.dom == nil {
+		p.dom = cfg.BuildDomTree(f)
+	}
+	p.df = config.DF
+	if !p.df.Valid() {
+		p.df = cfg.BuildDomFrontiers(p.dom)
+	}
 
 	var err error
 	if config.Scope == ScopeWholeFunction {

@@ -14,6 +14,15 @@
 // Memory is a flat int64 arena: address 0 is the null guard, globals
 // occupy a fixed prefix, and stack slots are bump-allocated per call
 // frame. Pointers are ordinary int64 addresses into the arena.
+//
+// The execution loop keeps all per-step accounting dense: opcode counts
+// live in a flat array indexed by ir.Op, profile collection increments
+// []int64 block and edge counters indexed by ir.BlockID (flushed into
+// profile.Profile once per run), stack slots resolve through the
+// function's precomputed FrameLayout offsets, and register frames and
+// call argument buffers are pooled across activations. Options.Legacy
+// selects the original map-based, allocation-per-call path, kept as the
+// measured baseline for the hot-path benchmarks.
 package interp
 
 import (
@@ -40,6 +49,13 @@ type Options struct {
 	Timeout time.Duration
 	// CollectProfile enables block/edge profile recording.
 	CollectProfile bool
+	// Legacy selects the pre-optimization interpretation path: map
+	// lookups per executed block for profile collection, a map increment
+	// per instruction for opcode counts, and fresh register/slot
+	// allocations per call. Results are identical to the default fast
+	// path; the benchmark harness (rpbench -legacy) uses it as the
+	// before side of the hot-path comparison.
+	Legacy bool
 }
 
 // Result is the outcome of a run.
@@ -94,6 +110,12 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 	}
 	if opts.CollectProfile {
 		m.result.Profile = profile.NewProfile()
+		if !opts.Legacy {
+			m.counters = make(map[*ir.Function]*funcCounters)
+		}
+	}
+	if !opts.Legacy {
+		m.opCounts = make([]int64, ir.NumOps)
 	}
 	m.layoutGlobals()
 
@@ -101,6 +123,9 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 	ret, err := m.call(main, args, 0)
 	if err != nil {
 		return nil, err
+	}
+	if !opts.Legacy {
+		m.flushCounts()
 	}
 	m.result.ReturnValue = ret
 	m.result.Globals = make(map[string][]int64, len(prog.Globals))
@@ -122,6 +147,23 @@ type machine struct {
 	globalBase map[*ir.Global]int64
 	sp         int64     // next free stack address
 	deadline   time.Time // wall-clock bound; zero means none
+
+	// Fast-path accounting (nil in legacy mode): dense opcode counts,
+	// per-function dense block/edge counters, a pool of register frames,
+	// and a stack-disciplined buffer for call arguments. All are flushed
+	// or recycled, never observable in Result except through the final
+	// maps they populate.
+	opCounts []int64
+	counters map[*ir.Function]*funcCounters
+	regPool  [][]int64
+	argStack []int64
+}
+
+// funcCounters holds one function's dense profile counters: executions
+// per block, and traversals per (block, successor index) edge.
+type funcCounters struct {
+	blocks []int64
+	edges  [][]int64
 }
 
 // timeoutCheckInterval is how many steps pass between wall-clock
@@ -165,96 +207,226 @@ func (m *machine) ensure(n int64) {
 	}
 }
 
-func (m *machine) addrOf(loc ir.MemLoc, slotBase map[*ir.Slot]int64) (int64, error) {
+// countersFor returns f's dense profile counters, building them on the
+// first call of f. The per-block edge slices share one backing array.
+func (m *machine) countersFor(f *ir.Function) *funcCounters {
+	fc := m.counters[f]
+	if fc == nil {
+		bound := int(f.BlockIDBound())
+		fc = &funcCounters{
+			blocks: make([]int64, bound),
+			edges:  make([][]int64, bound),
+		}
+		total := 0
+		for _, b := range f.Blocks {
+			total += len(b.Succs)
+		}
+		backing := make([]int64, total)
+		for _, b := range f.Blocks {
+			n := len(b.Succs)
+			fc.edges[b.ID], backing = backing[:n:n], backing[n:]
+		}
+		m.counters[f] = fc
+	}
+	return fc
+}
+
+// flushCounts moves the dense opcode and profile counters into the
+// map-shaped Result fields, once per run.
+func (m *machine) flushCounts() {
+	for op, n := range m.opCounts {
+		if n != 0 {
+			m.result.OpCounts[ir.Op(op)] += n
+		}
+	}
+	if m.result.Profile == nil {
+		return
+	}
+	for f, fc := range m.counters {
+		fp := m.result.Profile.ForFunc(f.Name)
+		for _, b := range f.Blocks {
+			if n := fc.blocks[b.ID]; n != 0 {
+				fp.Block[b.ID] += float64(n)
+			}
+			for i, n := range fc.edges[b.ID] {
+				if n != 0 {
+					fp.Edge[profile.Edge{From: b.ID, To: b.Succs[i].ID}] += float64(n)
+				}
+			}
+		}
+	}
+}
+
+// acquireRegs returns a zeroed register frame of length n, reusing a
+// pooled one when available.
+func (m *machine) acquireRegs(n int) []int64 {
+	if k := len(m.regPool); k > 0 {
+		s := m.regPool[k-1]
+		m.regPool = m.regPool[:k-1]
+		if cap(s) < n {
+			return make([]int64, n)
+		}
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	return make([]int64, n)
+}
+
+func (m *machine) releaseRegs(s []int64) {
+	m.regPool = append(m.regPool, s)
+}
+
+// addrOf resolves a memory location to an arena address. Exactly one of
+// slotBase (legacy path) and slotOffs (fast path, with frameBase) is in
+// effect for slot locations.
+func (m *machine) addrOf(loc ir.MemLoc, slotBase map[*ir.Slot]int64, frameBase int64, slotOffs []int64) (int64, error) {
 	switch loc.Kind {
 	case ir.LocGlobal:
 		return m.globalBase[loc.Global] + int64(loc.Offset), nil
 	case ir.LocSlot:
-		base, ok := slotBase[loc.Slot]
-		if !ok {
+		if slotBase != nil {
+			base, ok := slotBase[loc.Slot]
+			if !ok {
+				return 0, fmt.Errorf("interp: slot %s not allocated", loc.Slot.Name)
+			}
+			return base + int64(loc.Offset), nil
+		}
+		if loc.Slot.Index >= len(slotOffs) {
 			return 0, fmt.Errorf("interp: slot %s not allocated", loc.Slot.Name)
 		}
-		return base + int64(loc.Offset), nil
+		return frameBase + slotOffs[loc.Slot.Index] + int64(loc.Offset), nil
 	}
 	return 0, fmt.Errorf("interp: address of %v", loc)
+}
+
+func (m *machine) loadMem(addr int64, what, fn string) (int64, error) {
+	if addr <= 0 || addr >= int64(len(m.mem)) {
+		return 0, fmt.Errorf("interp: %s: invalid address %d in %s", what, addr, fn)
+	}
+	return m.mem[addr], nil
+}
+
+func (m *machine) storeMem(addr, v int64, what, fn string) error {
+	if addr <= 0 || addr >= int64(len(m.mem)) {
+		return fmt.Errorf("interp: %s: invalid address %d in %s", what, addr, fn)
+	}
+	m.mem[addr] = v
+	return nil
+}
+
+// eval resolves a value operand against the register frame.
+func eval(regs []int64, v ir.Value) int64 {
+	if v.IsConst() {
+		return v.Const()
+	}
+	return regs[v.Reg()]
 }
 
 func (m *machine) call(f *ir.Function, args []int64, depth int) (int64, error) {
 	if depth > m.opts.MaxDepth {
 		return 0, fmt.Errorf("interp: call depth exceeds %d in %s", m.opts.MaxDepth, f.Name)
 	}
-	regs := make([]int64, f.NumRegs)
+	legacy := m.opts.Legacy
+
+	var regs []int64
+	if legacy {
+		regs = make([]int64, f.NumRegs)
+	} else {
+		regs = m.acquireRegs(f.NumRegs)
+	}
 	for i, p := range f.Params {
 		if i < len(args) {
 			regs[p] = args[i]
 		}
 	}
 
-	// Allocate and zero stack slots for this activation.
+	// Allocate and zero stack slots for this activation: a per-slot map
+	// in legacy mode, one contiguous frame at precomputed offsets
+	// otherwise.
 	savedSP := m.sp
-	slotBase := make(map[*ir.Slot]int64, len(f.Slots))
-	for _, s := range f.Slots {
-		slotBase[s] = m.sp
-		m.ensure(m.sp + int64(s.Size))
-		for i := int64(0); i < int64(s.Size); i++ {
-			m.mem[m.sp+i] = 0
+	var slotBase map[*ir.Slot]int64
+	var frameBase int64
+	var slotOffs []int64
+	if legacy {
+		slotBase = make(map[*ir.Slot]int64, len(f.Slots))
+		for _, s := range f.Slots {
+			slotBase[s] = m.sp
+			m.ensure(m.sp + int64(s.Size))
+			for i := int64(0); i < int64(s.Size); i++ {
+				m.mem[m.sp+i] = 0
+			}
+			m.sp += int64(s.Size)
 		}
-		m.sp += int64(s.Size)
+	} else {
+		offs, size := f.FrameLayout()
+		slotOffs = offs
+		frameBase = m.sp
+		m.ensure(m.sp + size)
+		z := m.mem[frameBase : frameBase+size]
+		for i := range z {
+			z[i] = 0
+		}
+		m.sp += size
 	}
-	defer func() { m.sp = savedSP }()
+	defer func() {
+		m.sp = savedSP
+		if !legacy {
+			m.releaseRegs(regs)
+		}
+	}()
 
+	// Profile collection state: the legacy path updates the profile maps
+	// per executed block; the fast path bumps dense counters and flushes
+	// at end of run.
 	var fp *profile.FuncProfile
+	var bc []int64
+	var ec [][]int64
 	if m.result.Profile != nil {
-		fp = m.result.Profile.ForFunc(f.Name)
-	}
-
-	eval := func(v ir.Value) int64 {
-		if v.IsConst() {
-			return v.Const()
+		if legacy {
+			fp = m.result.Profile.ForFunc(f.Name)
+		} else {
+			fc := m.countersFor(f)
+			bc, ec = fc.blocks, fc.edges
 		}
-		return regs[v.Reg()]
-	}
-	loadMem := func(addr int64, what string) (int64, error) {
-		if addr <= 0 || addr >= int64(len(m.mem)) {
-			return 0, fmt.Errorf("interp: %s: invalid address %d in %s", what, addr, f.Name)
-		}
-		return m.mem[addr], nil
-	}
-	storeMem := func(addr, v int64, what string) error {
-		if addr <= 0 || addr >= int64(len(m.mem)) {
-			return fmt.Errorf("interp: %s: invalid address %d in %s", what, addr, f.Name)
-		}
-		m.mem[addr] = v
-		return nil
 	}
 
 	blk := f.Entry()
 	var prev *ir.Block
+	var phiDsts []ir.RegID
+	var phiVals []int64
 	for {
 		if fp != nil {
 			fp.AddBlock(blk, 1)
 			if prev != nil {
 				fp.AddEdge(prev, blk, 1)
 			}
+		} else if bc != nil {
+			bc[blk.ID]++
 		}
 
 		// Phi prefix: evaluate register phis in parallel using the
 		// incoming edge. (Interpreting SSA form directly is supported
 		// for tests; memory phis are no-ops at runtime.)
 		idx := 0
-		var phiDsts []ir.RegID
-		var phiVals []int64
+		phiDsts, phiVals = phiDsts[:0], phiVals[:0]
 		for idx < len(blk.Instrs) && blk.Instrs[idx].Op.IsPhi() {
 			in := blk.Instrs[idx]
 			m.result.Steps++
-			m.result.OpCounts[in.Op]++
+			if legacy {
+				m.result.OpCounts[in.Op]++
+			} else {
+				m.opCounts[in.Op]++
+			}
 			if in.Op == ir.OpPhi {
 				pi := blk.PredIndex(prev)
 				if pi < 0 {
 					return 0, fmt.Errorf("interp: phi in %v entered from non-predecessor", blk)
 				}
 				phiDsts = append(phiDsts, in.Dst)
-				phiVals = append(phiVals, eval(in.Args[pi]))
+				phiVals = append(phiVals, eval(regs, in.Args[pi]))
 			}
 			idx++
 		}
@@ -273,116 +445,120 @@ func (m *machine) call(f *ir.Function, args []int64, depth int) (int64, error) {
 					return 0, err
 				}
 			}
-			m.result.OpCounts[in.Op]++
+			if legacy {
+				m.result.OpCounts[in.Op]++
+			} else {
+				m.opCounts[in.Op]++
+			}
 
 			switch in.Op {
 			case ir.OpCopy:
-				regs[in.Dst] = eval(in.Args[0])
+				regs[in.Dst] = eval(regs, in.Args[0])
 			case ir.OpAdd:
-				regs[in.Dst] = eval(in.Args[0]) + eval(in.Args[1])
+				regs[in.Dst] = eval(regs, in.Args[0]) + eval(regs, in.Args[1])
 			case ir.OpSub:
-				regs[in.Dst] = eval(in.Args[0]) - eval(in.Args[1])
+				regs[in.Dst] = eval(regs, in.Args[0]) - eval(regs, in.Args[1])
 			case ir.OpMul:
-				regs[in.Dst] = eval(in.Args[0]) * eval(in.Args[1])
+				regs[in.Dst] = eval(regs, in.Args[0]) * eval(regs, in.Args[1])
 			case ir.OpDiv:
-				d := eval(in.Args[1])
+				d := eval(regs, in.Args[1])
 				if d == 0 {
 					return 0, fmt.Errorf("interp: division by zero in %s", f.Name)
 				}
-				regs[in.Dst] = eval(in.Args[0]) / d
+				regs[in.Dst] = eval(regs, in.Args[0]) / d
 			case ir.OpRem:
-				d := eval(in.Args[1])
+				d := eval(regs, in.Args[1])
 				if d == 0 {
 					return 0, fmt.Errorf("interp: modulo by zero in %s", f.Name)
 				}
-				regs[in.Dst] = eval(in.Args[0]) % d
+				regs[in.Dst] = eval(regs, in.Args[0]) % d
 			case ir.OpAnd:
-				regs[in.Dst] = eval(in.Args[0]) & eval(in.Args[1])
+				regs[in.Dst] = eval(regs, in.Args[0]) & eval(regs, in.Args[1])
 			case ir.OpOr:
-				regs[in.Dst] = eval(in.Args[0]) | eval(in.Args[1])
+				regs[in.Dst] = eval(regs, in.Args[0]) | eval(regs, in.Args[1])
 			case ir.OpXor:
-				regs[in.Dst] = eval(in.Args[0]) ^ eval(in.Args[1])
+				regs[in.Dst] = eval(regs, in.Args[0]) ^ eval(regs, in.Args[1])
 			case ir.OpShl:
-				regs[in.Dst] = eval(in.Args[0]) << (uint64(eval(in.Args[1])) & 63)
+				regs[in.Dst] = eval(regs, in.Args[0]) << (uint64(eval(regs, in.Args[1])) & 63)
 			case ir.OpShr:
-				regs[in.Dst] = eval(in.Args[0]) >> (uint64(eval(in.Args[1])) & 63)
+				regs[in.Dst] = eval(regs, in.Args[0]) >> (uint64(eval(regs, in.Args[1])) & 63)
 			case ir.OpNeg:
-				regs[in.Dst] = -eval(in.Args[0])
+				regs[in.Dst] = -eval(regs, in.Args[0])
 			case ir.OpNot:
-				regs[in.Dst] = ^eval(in.Args[0])
+				regs[in.Dst] = ^eval(regs, in.Args[0])
 			case ir.OpEq:
-				regs[in.Dst] = b2i(eval(in.Args[0]) == eval(in.Args[1]))
+				regs[in.Dst] = b2i(eval(regs, in.Args[0]) == eval(regs, in.Args[1]))
 			case ir.OpNe:
-				regs[in.Dst] = b2i(eval(in.Args[0]) != eval(in.Args[1]))
+				regs[in.Dst] = b2i(eval(regs, in.Args[0]) != eval(regs, in.Args[1]))
 			case ir.OpLt:
-				regs[in.Dst] = b2i(eval(in.Args[0]) < eval(in.Args[1]))
+				regs[in.Dst] = b2i(eval(regs, in.Args[0]) < eval(regs, in.Args[1]))
 			case ir.OpLe:
-				regs[in.Dst] = b2i(eval(in.Args[0]) <= eval(in.Args[1]))
+				regs[in.Dst] = b2i(eval(regs, in.Args[0]) <= eval(regs, in.Args[1]))
 			case ir.OpGt:
-				regs[in.Dst] = b2i(eval(in.Args[0]) > eval(in.Args[1]))
+				regs[in.Dst] = b2i(eval(regs, in.Args[0]) > eval(regs, in.Args[1]))
 			case ir.OpGe:
-				regs[in.Dst] = b2i(eval(in.Args[0]) >= eval(in.Args[1]))
+				regs[in.Dst] = b2i(eval(regs, in.Args[0]) >= eval(regs, in.Args[1]))
 
 			case ir.OpLoad:
-				addr, err := m.addrOf(in.Loc, slotBase)
+				addr, err := m.addrOf(in.Loc, slotBase, frameBase, slotOffs)
 				if err != nil {
 					return 0, err
 				}
-				v, err := loadMem(addr, "load")
+				v, err := m.loadMem(addr, "load", f.Name)
 				if err != nil {
 					return 0, err
 				}
 				regs[in.Dst] = v
 			case ir.OpStore:
-				addr, err := m.addrOf(in.Loc, slotBase)
+				addr, err := m.addrOf(in.Loc, slotBase, frameBase, slotOffs)
 				if err != nil {
 					return 0, err
 				}
-				if err := storeMem(addr, eval(in.Args[0]), "store"); err != nil {
+				if err := m.storeMem(addr, eval(regs, in.Args[0]), "store", f.Name); err != nil {
 					return 0, err
 				}
 			case ir.OpAddr:
-				addr, err := m.addrOf(in.Loc, slotBase)
+				addr, err := m.addrOf(in.Loc, slotBase, frameBase, slotOffs)
 				if err != nil {
 					return 0, err
 				}
 				regs[in.Dst] = addr
 			case ir.OpLoadPtr:
-				v, err := loadMem(eval(in.Args[0]), "pointer load")
+				v, err := m.loadMem(eval(regs, in.Args[0]), "pointer load", f.Name)
 				if err != nil {
 					return 0, err
 				}
 				regs[in.Dst] = v
 			case ir.OpStorePtr:
-				if err := storeMem(eval(in.Args[0]), eval(in.Args[1]), "pointer store"); err != nil {
+				if err := m.storeMem(eval(regs, in.Args[0]), eval(regs, in.Args[1]), "pointer store", f.Name); err != nil {
 					return 0, err
 				}
 			case ir.OpLoadIdx:
-				i := eval(in.Args[0])
+				i := eval(regs, in.Args[0])
 				if i < 0 || i >= int64(in.Loc.Size()) {
 					return 0, fmt.Errorf("interp: index %d out of range for %s[%d] in %s",
 						i, in.Loc.Object(), in.Loc.Size(), f.Name)
 				}
-				addr, err := m.addrOf(in.Loc, slotBase)
+				addr, err := m.addrOf(in.Loc, slotBase, frameBase, slotOffs)
 				if err != nil {
 					return 0, err
 				}
-				v, err := loadMem(addr+i, "indexed load")
+				v, err := m.loadMem(addr+i, "indexed load", f.Name)
 				if err != nil {
 					return 0, err
 				}
 				regs[in.Dst] = v
 			case ir.OpStoreIdx:
-				i := eval(in.Args[0])
+				i := eval(regs, in.Args[0])
 				if i < 0 || i >= int64(in.Loc.Size()) {
 					return 0, fmt.Errorf("interp: index %d out of range for %s[%d] in %s",
 						i, in.Loc.Object(), in.Loc.Size(), f.Name)
 				}
-				addr, err := m.addrOf(in.Loc, slotBase)
+				addr, err := m.addrOf(in.Loc, slotBase, frameBase, slotOffs)
 				if err != nil {
 					return 0, err
 				}
-				if err := storeMem(addr+i, eval(in.Args[1]), "indexed store"); err != nil {
+				if err := m.storeMem(addr+i, eval(regs, in.Args[1]), "indexed store", f.Name); err != nil {
 					return 0, err
 				}
 
@@ -391,11 +567,25 @@ func (m *machine) call(f *ir.Function, args []int64, depth int) (int64, error) {
 				if callee == nil {
 					return 0, fmt.Errorf("interp: call to unknown function %s", in.Callee)
 				}
-				cargs := make([]int64, len(in.Args))
-				for i, a := range in.Args {
-					cargs[i] = eval(a)
+				var rv int64
+				var err error
+				if legacy {
+					cargs := make([]int64, len(in.Args))
+					for i, a := range in.Args {
+						cargs[i] = eval(regs, a)
+					}
+					rv, err = m.call(callee, cargs, depth+1)
+				} else {
+					// Arguments live in a stack-disciplined shared buffer;
+					// the callee copies them into its frame on entry, so
+					// the slice is dead once call returns.
+					base := len(m.argStack)
+					for _, a := range in.Args {
+						m.argStack = append(m.argStack, eval(regs, a))
+					}
+					rv, err = m.call(callee, m.argStack[base:], depth+1)
+					m.argStack = m.argStack[:base]
 				}
-				rv, err := m.call(callee, cargs, depth+1)
 				if err != nil {
 					return 0, err
 				}
@@ -404,7 +594,7 @@ func (m *machine) call(f *ir.Function, args []int64, depth int) (int64, error) {
 				}
 			case ir.OpPrint:
 				if len(m.result.Output) < m.opts.MaxOutput {
-					m.result.Output = append(m.result.Output, eval(in.Args[0]))
+					m.result.Output = append(m.result.Output, eval(regs, in.Args[0]))
 				}
 			case ir.OpDummyLoad:
 				// Promotion bookkeeping only; no runtime effect.
@@ -412,16 +602,22 @@ func (m *machine) call(f *ir.Function, args []int64, depth int) (int64, error) {
 				// Memory SSA bookkeeping only; no runtime effect.
 
 			case ir.OpJmp:
+				if ec != nil {
+					ec[blk.ID][0]++
+				}
 				prev, blk = blk, blk.Succs[0]
 			case ir.OpBr:
-				if eval(in.Args[0]) != 0 {
-					prev, blk = blk, blk.Succs[0]
-				} else {
-					prev, blk = blk, blk.Succs[1]
+				si := 1
+				if eval(regs, in.Args[0]) != 0 {
+					si = 0
 				}
+				if ec != nil {
+					ec[blk.ID][si]++
+				}
+				prev, blk = blk, blk.Succs[si]
 			case ir.OpRet:
 				if len(in.Args) > 0 {
-					return eval(in.Args[0]), nil
+					return eval(regs, in.Args[0]), nil
 				}
 				return 0, nil
 			default:

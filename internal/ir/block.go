@@ -139,6 +139,9 @@ func (b *Block) SuccIndex(s *Block) int {
 func AddEdge(b, s *Block) {
 	b.Succs = append(b.Succs, s)
 	s.Preds = append(s.Preds, b)
+	if b.Func != nil {
+		b.Func.MarkCFGChanged()
+	}
 }
 
 // ReplacePred substitutes newPred for oldPred in b's predecessor list,
@@ -149,6 +152,9 @@ func (b *Block) ReplacePred(oldPred, newPred *Block) {
 		panic(fmt.Sprintf("ir: %v is not a predecessor of %v", oldPred, b))
 	}
 	b.Preds[i] = newPred
+	if b.Func != nil {
+		b.Func.MarkCFGChanged()
+	}
 }
 
 // RemovePred deletes predecessor p from b, removing the corresponding
@@ -159,6 +165,9 @@ func (b *Block) RemovePred(p *Block) {
 		panic(fmt.Sprintf("ir: %v is not a predecessor of %v", p, b))
 	}
 	b.Preds = append(b.Preds[:i], b.Preds[i+1:]...)
+	if b.Func != nil {
+		b.Func.MarkCFGChanged()
+	}
 	for _, in := range b.Phis() {
 		switch in.Op {
 		case OpPhi:

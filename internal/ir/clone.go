@@ -18,12 +18,13 @@ import (
 // transformation stage fails.
 func (f *Function) Clone() *Function {
 	nf := &Function{
-		Name:      f.Name,
-		Params:    slices.Clone(f.Params),
-		Prog:      f.Prog,
-		NumRegs:   f.NumRegs,
-		regNames:  slices.Clone(f.regNames),
-		nextBlock: f.nextBlock,
+		Name:       f.Name,
+		Params:     slices.Clone(f.Params),
+		Prog:       f.Prog,
+		NumRegs:    f.NumRegs,
+		regNames:   slices.Clone(f.regNames),
+		nextBlock:  f.nextBlock,
+		cfgVersion: f.cfgVersion,
 	}
 	if f.maxVer != nil {
 		nf.maxVer = maps.Clone(f.maxVer)
@@ -38,6 +39,7 @@ func (f *Function) Clone() *Function {
 			FieldNames: slices.Clone(s.FieldNames),
 			AddrTaken:  s.AddrTaken,
 			Escapes:    s.Escapes,
+			Index:      s.Index,
 		}
 		slotMap[s] = ns
 		nf.Slots = append(nf.Slots, ns)

@@ -18,6 +18,22 @@ type Function struct {
 	nextBlock BlockID
 	maxVer    map[ResourceID]int // highest version per base resource
 
+	// cfgVersion counts CFG shape mutations: block additions and
+	// removals, edge splits, and any rewiring of Preds/Succs. Analyses
+	// cached per function (internal/analysis) key their entries on it, so
+	// every mutation point must bump it — the ir mutators below do, and
+	// code that edits Preds/Succs slices directly must call
+	// MarkCFGChanged itself (see DESIGN.md §8 for the contract).
+	cfgVersion uint64
+
+	// slotOffsets[i] is the frame offset of Slots[i]; frameSize is the
+	// total activation size. Both are computed lazily by FrameLayout and
+	// invalidated by NewSlot, so the interpreter can allocate frames with
+	// pointer arithmetic instead of a per-call map.
+	slotOffsets []int64
+	frameSize   int64
+	slotsLaid   bool
+
 	// Resources is the function's memory resource table, indexed by
 	// ResourceID. Base resources come first (one per location the
 	// function may touch); SSA renaming appends versioned resources.
@@ -36,12 +52,55 @@ func NewFunction(prog *Program, name string) *Function {
 // Entry returns the function entry block.
 func (f *Function) Entry() *Block { return f.Blocks[0] }
 
+// CFGVersion returns the CFG shape version counter. Two calls returning
+// the same value bracket a region with no CFG mutations, so any
+// analysis of the block graph computed in between is still valid.
+func (f *Function) CFGVersion() uint64 { return f.cfgVersion }
+
+// MarkCFGChanged bumps the CFG version counter. The ir-level mutators
+// (NewBlock, RemoveBlock, SplitEdge, AddEdge, ReplacePred, RemovePred,
+// Renumber) call it automatically; callers that rewire Preds or Succs
+// slices directly must call it themselves.
+func (f *Function) MarkCFGChanged() { f.cfgVersion++ }
+
+// BlockIDBound returns an exclusive upper bound on the BlockIDs in use:
+// every block of the function has ID < BlockIDBound(). Dense analyses
+// size their ID-indexed slices with it. After Renumber the bound equals
+// len(Blocks).
+func (f *Function) BlockIDBound() BlockID { return f.nextBlock }
+
+// Renumber reassigns dense BlockIDs 0..len(Blocks)-1 in block-list
+// order, re-establishing the dense-numbering invariant after CFG edits
+// have left holes (RemoveUnreachable) or growth (edge splitting). It
+// bumps the CFG version when any ID changes, invalidating cached
+// analyses, and must therefore not be called between collecting a
+// profile and consuming it — block IDs are the profile's keys.
+// cfg.Normalize renumbers exactly once per function, right after
+// removing unreachable blocks and before any ID-keyed state exists.
+func (f *Function) Renumber() {
+	changed := false
+	for i, b := range f.Blocks {
+		if b.ID != BlockID(i) {
+			b.ID = BlockID(i)
+			changed = true
+		}
+	}
+	if f.nextBlock != BlockID(len(f.Blocks)) {
+		f.nextBlock = BlockID(len(f.Blocks))
+		changed = true
+	}
+	if changed {
+		f.MarkCFGChanged()
+	}
+}
+
 // NewBlock creates a block with a fresh ID and appends it to the
 // function.
 func (f *Function) NewBlock() *Block {
 	b := &Block{ID: f.nextBlock, Func: f}
 	f.nextBlock++
 	f.Blocks = append(f.Blocks, b)
+	f.MarkCFGChanged()
 	return b
 }
 
@@ -65,9 +124,30 @@ func (f *Function) RegName(r RegID) string {
 // NewSlot creates a stack slot for an address-exposed local or local
 // aggregate.
 func (f *Function) NewSlot(name string, size int, isArray bool, fields []string) *Slot {
-	s := &Slot{Name: name, Size: size, IsArray: isArray, FieldNames: fields}
+	s := &Slot{Name: name, Size: size, IsArray: isArray, FieldNames: fields, Index: len(f.Slots)}
 	f.Slots = append(f.Slots, s)
+	f.slotsLaid = false
 	return s
+}
+
+// FrameLayout returns the per-slot frame offsets (indexed by
+// Slot.Index) and the total frame size, laying slots out contiguously
+// in declaration order. The layout is computed once and cached; NewSlot
+// invalidates it. The interpreter resolves a slot cell as
+// frameBase + offsets[slot.Index] + cellOffset.
+func (f *Function) FrameLayout() ([]int64, int64) {
+	if !f.slotsLaid || len(f.slotOffsets) != len(f.Slots) {
+		offs := make([]int64, len(f.Slots))
+		var size int64
+		for i, s := range f.Slots {
+			offs[i] = size
+			size += int64(s.Size)
+		}
+		f.slotOffsets = offs
+		f.frameSize = size
+		f.slotsLaid = true
+	}
+	return f.slotOffsets, f.frameSize
 }
 
 // AddResource appends a base resource for the given location and returns
@@ -143,6 +223,7 @@ func (f *Function) RemoveBlock(b *Block) {
 	for i, x := range f.Blocks {
 		if x == b {
 			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			f.MarkCFGChanged()
 			return
 		}
 	}

@@ -97,6 +97,10 @@ const (
 	OpRet // return Args[0] if present, else void
 )
 
+// NumOps is one more than the largest opcode value, for sizing dense
+// per-opcode tables.
+const NumOps = int(OpRet) + 1
+
 var opNames = [...]string{
 	OpInvalid:   "invalid",
 	OpAdd:       "add",

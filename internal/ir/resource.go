@@ -160,6 +160,7 @@ type Slot struct {
 	FieldNames []string
 	AddrTaken  bool
 	Escapes    bool // address observed escaping to a call or to memory
+	Index      int  // position in Function.Slots; keys FrameLayout offsets
 }
 
 // CellName returns a human-readable name of cell offset within s.

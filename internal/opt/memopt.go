@@ -24,14 +24,21 @@ import (
 // versions are immutable between definitions. Returns the number of
 // loads rewritten. The function must be in SSA form.
 func ForwardStores(f *ir.Function) int {
-	dom := cfg.BuildDomTree(f)
+	return ForwardStoresWith(f, cfg.BuildDomTree(f))
+}
 
+// ForwardStoresWith is ForwardStores with a caller-supplied dominator
+// tree, which must describe f's current CFG.
+func ForwardStoresWith(f *ir.Function, dom *cfg.DomTree) int {
 	// storeVal[v] = the value a direct store wrote into version v.
-	storeVal := make(map[ir.ResourceID]ir.Value)
+	// Resource IDs are dense, so all per-version state lives in slices.
+	storeVal := make([]ir.Value, len(f.Resources))
+	hasStore := make([]bool, len(f.Resources))
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			if in.Op == ir.OpStore {
 				storeVal[in.MemDefs[0].Res] = in.Args[0]
+				hasStore[in.MemDefs[0].Res] = true
 			}
 		}
 	}
@@ -44,7 +51,7 @@ func ForwardStores(f *ir.Function) int {
 		blk *ir.Block
 		idx int
 	}
-	loadsOf := make(map[ir.ResourceID][]loadSite)
+	loadsOf := make([][]loadSite, len(f.Resources))
 	var visit func(b *ir.Block)
 	visit = func(b *ir.Block) {
 		for i, in := range b.Instrs {
@@ -61,7 +68,10 @@ func ForwardStores(f *ir.Function) int {
 
 	rewritten := 0
 	for v, sites := range loadsOf {
-		if val, ok := storeVal[v]; ok {
+		if len(sites) == 0 {
+			continue
+		}
+		if val := storeVal[v]; hasStore[v] {
 			// Store-to-load forwarding: the store dominates every use
 			// of its version by SSA discipline.
 			for _, s := range sites {
@@ -113,8 +123,8 @@ func replaceLoad(load *ir.Instr, v ir.Value) {
 // too. Returns the number of instructions removed. The function must be
 // in SSA form.
 func DeadStoreElim(f *ir.Function) int {
-	phiDefs := make(map[ir.ResourceID]*ir.Instr)
-	storeDefs := make(map[ir.ResourceID]*ir.Instr)
+	phiDefs := make([]*ir.Instr, len(f.Resources))
+	storeDefs := make([]*ir.Instr, len(f.Resources))
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			switch in.Op {
@@ -128,9 +138,12 @@ func DeadStoreElim(f *ir.Function) int {
 
 	// Mark: versions read by real code seed the liveness; a live
 	// version defined by a memphi makes its operands live.
-	live := make(map[ir.ResourceID]bool)
+	live := make([]bool, len(f.Resources))
 	var work []ir.ResourceID
 	mark := func(r ir.ResourceID) {
+		if r < 0 || int(r) >= len(live) {
+			return
+		}
 		if !live[r] {
 			live[r] = true
 			work = append(work, r)
@@ -158,13 +171,13 @@ func DeadStoreElim(f *ir.Function) int {
 
 	removed := 0
 	for v, st := range storeDefs {
-		if !live[v] && st.Parent != nil {
+		if st != nil && !live[v] && st.Parent != nil {
 			st.Parent.Remove(st)
 			removed++
 		}
 	}
 	for v, phi := range phiDefs {
-		if !live[v] && phi.Parent != nil {
+		if phi != nil && !live[v] && phi.Parent != nil {
 			phi.Parent.Remove(phi)
 			removed++
 		}

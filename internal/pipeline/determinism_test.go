@@ -1,0 +1,74 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// TestRunTwiceIdentical runs every corpus entry through the pipeline
+// twice in the same process and requires byte-identical outcome reports
+// and transformed IR. Go randomizes map iteration order per range
+// statement, so any pass that lets a map's order leak into phi
+// placement, web numbering, or statistics shows up here as a diff
+// between the two runs.
+func TestRunTwiceIdentical(t *testing.T) {
+	corpus := workload.Suite()
+	for i := 0; i < 6; i++ {
+		corpus = append(corpus, workload.CorpusEntry(3, i))
+	}
+	opts := pipeline.Options{
+		PreMemOpts: true,
+		Check:      pipeline.CheckBoundaries,
+	}
+	for _, w := range corpus {
+		_, report1, prog1 := runReport(t, w.Src, opts)
+		_, report2, prog2 := runReport(t, w.Src, opts)
+		if report1 != report2 {
+			t.Errorf("%s: reports differ between identical runs:\n--- first\n%s\n--- second\n%s",
+				w.Name, report1, report2)
+		}
+		if prog1 != prog2 {
+			t.Errorf("%s: transformed programs differ between identical runs", w.Name)
+		}
+	}
+}
+
+// TestRunTwiceIdenticalLegacy repeats the corpus-twice check on the
+// no-cache, legacy-interpreter configuration, so the baseline paths
+// rpbench -legacy measures stay deterministic too.
+func TestRunTwiceIdenticalLegacy(t *testing.T) {
+	opts := pipeline.Options{
+		PreMemOpts:      true,
+		NoAnalysisCache: true,
+	}
+	opts.Interp.Legacy = true
+	for _, w := range workload.Suite() {
+		_, report1, prog1 := runReport(t, w.Src, opts)
+		_, report2, prog2 := runReport(t, w.Src, opts)
+		if report1 != report2 {
+			t.Errorf("%s: legacy reports differ between identical runs", w.Name)
+		}
+		if prog1 != prog2 {
+			t.Errorf("%s: legacy transformed programs differ between identical runs", w.Name)
+		}
+	}
+}
+
+// TestCachedMatchesUncachedReport asserts the analysis cache is
+// semantically invisible: a cached run and a NoAnalysisCache run of the
+// same source produce byte-identical reports and IR.
+func TestCachedMatchesUncachedReport(t *testing.T) {
+	for _, w := range workload.Suite() {
+		_, cachedReport, cachedProg := runReport(t, w.Src, pipeline.Options{PreMemOpts: true})
+		_, plainReport, plainProg := runReport(t, w.Src, pipeline.Options{PreMemOpts: true, NoAnalysisCache: true})
+		if cachedReport != plainReport {
+			t.Errorf("%s: cached and uncached reports differ:\n--- cached\n%s\n--- uncached\n%s",
+				w.Name, cachedReport, plainReport)
+		}
+		if cachedProg != plainProg {
+			t.Errorf("%s: cached and uncached transformed programs differ", w.Name)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"repro/internal/alias"
+	"repro/internal/analysis"
 	"repro/internal/baseline"
 	"repro/internal/cfg"
 	"repro/internal/core"
@@ -119,6 +120,15 @@ type Options struct {
 	// boundaries (see internal/faults); used to test the recovery
 	// paths and exposed through the tools' -fault flag.
 	Faults *faults.Injector
+	// AnalysisCache optionally supplies the analysis cache the run
+	// memoizes CFG analyses in (tests pass their own to inspect build
+	// counts). Nil means the run creates one, unless NoAnalysisCache is
+	// set.
+	AnalysisCache *analysis.Cache
+	// NoAnalysisCache disables cross-stage analysis memoization: every
+	// stage rebuilds its own dominators/frontiers, the pre-caching
+	// behavior. Kept as a benchmark baseline (rpbench -legacy).
+	NoAnalysisCache bool
 	// Workers bounds how many functions are transformed concurrently.
 	// Each worker runs the full per-function chain (SSA build →
 	// promote → destruct → verify) behind the usual isolation and
@@ -190,6 +200,28 @@ type runner struct {
 	// mismatches down to one function.
 	snapshots map[string]*ir.Function
 	degraded  map[string]bool
+	// cache memoizes per-function CFG analyses across stages, keyed on
+	// the functions' CFG version counters; nil when NoAnalysisCache.
+	cache *analysis.Cache
+}
+
+// domOf returns f's dominator tree: memoized when the cache is on,
+// freshly built otherwise.
+func (r *runner) domOf(f *ir.Function) *cfg.DomTree {
+	if r.cache != nil {
+		return r.cache.Dom(f)
+	}
+	return cfg.BuildDomTree(f)
+}
+
+// analyses returns f's dominator tree and dominance frontiers, memoized
+// when the cache is on.
+func (r *runner) analyses(f *ir.Function) (*cfg.DomTree, cfg.DomFrontiers) {
+	if r.cache != nil {
+		return r.cache.Dom(f), r.cache.DF(f)
+	}
+	dom := cfg.BuildDomTree(f)
+	return dom, cfg.BuildDomFrontiers(dom)
 }
 
 // Run executes the full pipeline on mini-C source text.
@@ -200,9 +232,16 @@ func Run(src string, opts Options) (*Outcome, error) {
 		snapshots: make(map[string]*ir.Function),
 		degraded:  make(map[string]bool),
 	}
+	r.cache = opts.AnalysisCache
+	if r.cache == nil && !opts.NoAnalysisCache {
+		r.cache = analysis.New()
+	}
+	if r.cache != nil && opts.Check >= CheckParanoid {
+		r.cache.Paranoid = true
+	}
 
 	// Baseline program: compiled, analyzed, normalized — not promoted.
-	before, _, err := r.frontend(src)
+	before, beforeForests, err := r.frontend(src)
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +249,7 @@ func Run(src string, opts Options) (*Outcome, error) {
 
 	// Training profile (on the unpromoted program, or on a separate
 	// training-input variant when TrainSrc is set).
-	prof, err := r.trainProfile(before)
+	prof, err := r.trainProfile(before, beforeForests)
 	if err != nil {
 		return nil, err
 	}
@@ -293,6 +332,12 @@ func (r *runner) frontend(src string) (*ir.Program, map[string]*cfg.Forest, erro
 				}
 			}
 			forests[f.Name] = forest
+			if r.cache != nil {
+				// Normalize just built this forest at the function's
+				// current CFG version; seed the cache so the estimate and
+				// promote paths never rebuild it.
+				r.cache.PutIntervals(f, forest)
+			}
 			return nil
 		})
 		if err != nil {
@@ -309,12 +354,12 @@ func (r *runner) frontend(src string) (*ir.Program, map[string]*cfg.Forest, erro
 
 // trainProfile acquires the promotion profile behind the train stage's
 // isolation boundary.
-func (r *runner) trainProfile(before *ir.Program) (*profile.Profile, error) {
+func (r *runner) trainProfile(before *ir.Program, forests map[string]*cfg.Forest) (*profile.Profile, error) {
 	prof := profile.NewProfile()
 	err := r.runStage(StageTrain, "", nil, func() error {
 		switch {
 		case r.opts.StaticProfile:
-			p, err := estimateAll(before)
+			p, err := estimateAll(before, forests)
 			if err != nil {
 				return err
 			}
@@ -390,12 +435,13 @@ func (r *runner) transformFunc(prog *ir.Program, f *ir.Function, forest *cfg.For
 	switch r.opts.Algorithm {
 	case AlgSSA:
 		chain = append(chain, transformStep{StageSSABuild, func() error {
-			_, err := ssa.Build(f)
-			return err
+			cfg.RemoveUnreachable(f)
+			dom, df := r.analyses(f)
+			return ssa.BuildWith(f, dom, df)
 		}, true})
 		if r.opts.PreMemOpts {
 			chain = append(chain, transformStep{StageMemOpts, func() error {
-				opt.ForwardStores(f)
+				opt.ForwardStoresWith(f, r.domOf(f))
 				opt.DeadStoreElim(f)
 				opt.Cleanup(f)
 				return nil
@@ -406,11 +452,14 @@ func (r *runner) transformFunc(prog *ir.Program, f *ir.Function, forest *cfg.For
 			if r.opts.WholeFunctionScope {
 				scope = core.ScopeWholeFunction
 			}
+			dom, df := r.analyses(f)
 			s, err := core.PromoteFunction(f, forest, core.Config{
 				Profile:         fp,
 				Scope:           scope,
 				CountTailStores: !r.opts.PaperProfitFormula,
 				MaxPromotedWebs: r.opts.MaxPromotedWebs,
+				Dom:             dom,
+				DF:              df,
 			})
 			stats = s
 			return err
@@ -421,11 +470,12 @@ func (r *runner) transformFunc(prog *ir.Program, f *ir.Function, forest *cfg.For
 		}, false})
 	case AlgMemOpt:
 		chain = append(chain, transformStep{StageSSABuild, func() error {
-			_, err := ssa.Build(f)
-			return err
+			cfg.RemoveUnreachable(f)
+			dom, df := r.analyses(f)
+			return ssa.BuildWith(f, dom, df)
 		}, true})
 		chain = append(chain, transformStep{StageMemOpts, func() error {
-			opt.ForwardStores(f)
+			opt.ForwardStoresWith(f, r.domOf(f))
 			opt.DeadStoreElim(f)
 			opt.Cleanup(f)
 			return nil
@@ -489,7 +539,7 @@ func (r *runner) boundaryCheck(f *ir.Function, inSSA bool) error {
 		return nil
 	}
 	if inSSA {
-		if err := ssa.VerifyDominance(f); err != nil {
+		if err := ssa.VerifyDominanceWith(f, r.domOf(f)); err != nil {
 			return fmt.Errorf("boundary verify (ssa): %w", err)
 		}
 		return nil
@@ -514,6 +564,11 @@ func (r *runner) degrade(prog *ir.Program, f *ir.Function, snap *ir.Function, st
 	r.snapshots[f.Name] = snap
 	delete(r.out.Stats, f.Name)
 	r.mu.Unlock()
+	if r.cache != nil {
+		// The function object just left the program; drop its analyses so
+		// a recycled pointer can never alias a stale entry.
+		r.cache.Invalidate(f)
+	}
 	r.recordDegradation(f.Name, stage, err)
 	return nil
 }
@@ -690,10 +745,15 @@ func plainFrontend(src string) (*ir.Program, map[string]*cfg.Forest, error) {
 	return prog, forests, nil
 }
 
-func estimateAll(prog *ir.Program) (*profile.Profile, error) {
+func estimateAll(prog *ir.Program, forests map[string]*cfg.Forest) (*profile.Profile, error) {
 	p := profile.NewProfile()
 	for _, f := range prog.Funcs {
-		forest := cfg.BuildIntervals(f)
+		forest := forests[f.Name]
+		if forest == nil {
+			// Degraded at normalize (or no forest supplied): estimate on a
+			// freshly built interval tree.
+			forest = cfg.BuildIntervals(f)
+		}
 		p.Funcs[f.Name] = profile.Estimate(f, forest)
 	}
 	return p, nil

@@ -1,0 +1,51 @@
+// Package profiling wires the runtime's pprof profilers to the tools'
+// -cpuprofile and -memprofile flags, so hot-path investigations can go
+// straight from an rpbench/rpromote run to `go tool pprof`.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins CPU profiling into the file at path and returns a
+// stop function that ends profiling and closes the file. An empty path
+// is a no-op: the returned stop does nothing.
+func StartCPU(path string) (func(), error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap writes an allocation profile to the file at path, running a
+// GC first so the numbers reflect live and cumulative allocation
+// accurately. An empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package ssa_test
+
+import (
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/source"
+	"repro/internal/ssa"
+	"repro/internal/workload"
+)
+
+// benchFuncs compiles a large generated program and returns its
+// normalized functions, ready for SSA construction.
+func benchFuncs(b *testing.B) []*ir.Function {
+	b.Helper()
+	gen, err := workload.SizedGenConfig(13, "large")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := source.Compile(workload.Generate(gen))
+	if err != nil {
+		b.Fatalf("Compile: %v", err)
+	}
+	if err := alias.Analyze(prog); err != nil {
+		b.Fatalf("Analyze: %v", err)
+	}
+	for _, f := range prog.Funcs {
+		if _, err := cfg.Normalize(f); err != nil {
+			b.Fatalf("Normalize(%s): %v", f.Name, err)
+		}
+	}
+	return prog.Funcs
+}
+
+// BenchmarkBuild measures whole-program SSA construction. Build mutates
+// the function, so each iteration works on fresh clones; the clone cost
+// is included on both sides of any before/after comparison and the
+// numbers remain comparable.
+func BenchmarkBuild(b *testing.B) {
+	funcs := benchFuncs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range funcs {
+			g := f.Clone()
+			if _, err := ssa.Build(g); err != nil {
+				b.Fatalf("Build(%s): %v", g.Name, err)
+			}
+		}
+	}
+}

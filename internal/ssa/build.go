@@ -23,13 +23,22 @@ import (
 func Build(f *ir.Function) (*cfg.DomTree, error) {
 	cfg.RemoveUnreachable(f)
 	dom := cfg.BuildDomTree(f)
-	df := cfg.BuildDomFrontiers(dom)
-	b := &builder{f: f, dom: dom, df: df}
-	if err := b.run(); err != nil {
+	if err := BuildWith(f, dom, cfg.BuildDomFrontiers(dom)); err != nil {
 		return nil, err
 	}
-	PruneTrivialPhis(f)
 	return dom, nil
+}
+
+// BuildWith converts f to SSA form using prebuilt analyses. dom and df
+// must describe f's current CFG (the pipeline supplies them from its
+// analysis cache); unreachable blocks must already be removed.
+func BuildWith(f *ir.Function, dom *cfg.DomTree, df cfg.DomFrontiers) error {
+	b := &builder{f: f, dom: dom, df: df}
+	if err := b.run(); err != nil {
+		return err
+	}
+	PruneTrivialPhis(f)
+	return nil
 }
 
 type builder struct {
@@ -51,9 +60,11 @@ type builder struct {
 func (b *builder) run() error {
 	f := b.f
 
-	// Collect definition sites.
-	regDefs := make(map[ir.RegID][]*ir.Block)
-	resDefs := make(map[ir.ResourceID][]*ir.Block)
+	// Collect definition sites, densely indexed by register and resource
+	// number so the phi-placement loops below iterate in ID order with no
+	// map traffic (and no map iteration order anywhere near the output).
+	regDefs := make([][]*ir.Block, f.NumRegs)
+	resDefs := make([][]*ir.Block, len(f.Resources))
 	for _, blk := range f.Blocks {
 		for _, in := range blk.Instrs {
 			if in.HasDst() {
@@ -81,7 +92,6 @@ func (b *builder) run() error {
 			b.phiOrigReg[phi] = reg
 		}
 	}
-	// Deterministic order over resources (map iteration is random).
 	for id := 0; id < len(f.Resources); id++ {
 		base := ir.ResourceID(id)
 		defs := resDefs[base]

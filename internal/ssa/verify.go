@@ -14,10 +14,15 @@ import (
 // versions are checked with the same rule; version 0 resources are
 // live-in and treated as defined at entry.
 func VerifyDominance(f *ir.Function) error {
+	return VerifyDominanceWith(f, cfg.BuildDomTree(f))
+}
+
+// VerifyDominanceWith is VerifyDominance with a caller-supplied
+// dominator tree, which must describe f's current CFG.
+func VerifyDominanceWith(f *ir.Function, dom *cfg.DomTree) error {
 	if err := f.Verify(ir.VerifySSA); err != nil {
 		return err
 	}
-	dom := cfg.BuildDomTree(f)
 
 	type defSite struct {
 		blk *ir.Block

@@ -40,6 +40,35 @@ func DefaultGenConfig(seed int64) GenConfig {
 	}
 }
 
+// SizedGenConfig returns a generation config scaled to a named workload
+// size: "small" (shallow, few functions — unit-test scale), "medium"
+// (the default balanced config), or "large" (deeper nesting, more
+// functions and globals — stress scale). The empty string means medium.
+func SizedGenConfig(seed int64, size string) (GenConfig, error) {
+	cfg := DefaultGenConfig(seed)
+	switch size {
+	case "", "medium":
+	case "small":
+		cfg.NumGlobals = 3
+		cfg.NumArrays = 1
+		cfg.NumHelpers = 1
+		cfg.MaxStmts = 3
+		cfg.MaxDepth = 1
+		cfg.LoopMax = 4
+	case "large":
+		cfg.NumGlobals = 10
+		cfg.NumArrays = 4
+		cfg.NumHelpers = 6
+		cfg.MaxStmts = 8
+		cfg.MaxDepth = 3
+		cfg.CallChance = 0.18
+		cfg.LoopMax = 12
+	default:
+		return cfg, fmt.Errorf("workload: unknown size %q (want small, medium, or large)", size)
+	}
+	return cfg, nil
+}
+
 // Generate produces a random mini-C program. Every call constructs its
 // own rng from cfg.Seed, so concurrent Generate calls never share
 // random state: generation is deterministic per seed and race-free
@@ -79,12 +108,23 @@ func DeriveSeed(base int64, i int) int64 {
 // generated, in any order, on any goroutine, and each comes out
 // identical to a sequential Corpus call.
 func CorpusEntry(seed int64, i int) Workload {
+	w, _ := SizedCorpusEntry(seed, i, "medium")
+	return w
+}
+
+// SizedCorpusEntry is CorpusEntry with an explicit workload size (see
+// SizedGenConfig).
+func SizedCorpusEntry(seed int64, i int, size string) (Workload, error) {
 	entrySeed := DeriveSeed(seed, i)
+	cfg, err := SizedGenConfig(entrySeed, size)
+	if err != nil {
+		return Workload{}, err
+	}
 	return Workload{
 		Name:        fmt.Sprintf("gen%04d", i),
 		Description: fmt.Sprintf("generated stress program (base seed %d, entry seed %d)", seed, entrySeed),
-		Src:         Generate(DefaultGenConfig(entrySeed)),
-	}
+		Src:         Generate(cfg),
+	}, nil
 }
 
 // Corpus generates an n-entry stress corpus from the base seed.
