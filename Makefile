@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 BATCH ?= 32
 JOBS ?= $(shell nproc 2>/dev/null || echo 4)
 
-.PHONY: build test vet race test-par fuzz-smoke bench-par bench-hot bench-smoke ci
+.PHONY: build test vet race test-par fuzz-smoke bench-par bench-hot bench-smoke serve-smoke bench-serve ci
 
 build:
 	$(GO) build ./...
@@ -55,4 +55,41 @@ bench-hot:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/cfg/ ./internal/ssa/ ./internal/interp/
 
-ci: vet race test-par bench-smoke fuzz-smoke
+# Serving smoke test: start rpserved on an ephemeral port, replay a
+# small deterministic mix through rploadgen (which exits non-zero on
+# zero throughput, any 5xx, or outcome divergence), then SIGTERM the
+# server in the middle of a second, rate-paced load phase and require
+# a clean drain (exit 0) with requests still in flight.
+serve-smoke:
+	$(GO) build -o bin/rpserved ./cmd/rpserved
+	$(GO) build -o bin/rploadgen ./cmd/rploadgen
+	rm -f bin/rpserved.port; \
+	bin/rpserved -addr 127.0.0.1:0 -port-file bin/rpserved.port & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -f bin/rpserved.port ] && break; sleep 0.1; done; \
+	[ -f bin/rpserved.port ] || { echo "rpserved never published its port"; kill $$pid 2>/dev/null; exit 1; }; \
+	bin/rploadgen -addr "$$(cat bin/rpserved.port)" -n 64 -c 4 -unique 4 -size small || { kill $$pid 2>/dev/null; exit 1; }; \
+	bin/rploadgen -addr "$$(cat bin/rpserved.port)" -n 400 -c 4 -qps 400 -unique 4 -size small >/dev/null 2>&1 & \
+	lpid=$$!; \
+	sleep 0.3; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "rpserved did not drain cleanly under load"; kill $$lpid 2>/dev/null; exit 1; }; \
+	wait $$lpid 2>/dev/null; \
+	echo "serve-smoke: clean drain under load"
+
+# Serving benchmark: a larger replay mix against a local rpserved,
+# recorded as BENCH_serve.json (p50/p95/p99 latency, throughput, cache
+# hit rate).
+bench-serve:
+	$(GO) build -o bin/rpserved ./cmd/rpserved
+	$(GO) build -o bin/rploadgen ./cmd/rploadgen
+	rm -f bin/rpserved.port; \
+	bin/rpserved -addr 127.0.0.1:0 -port-file bin/rpserved.port & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -f bin/rpserved.port ] && break; sleep 0.1; done; \
+	[ -f bin/rpserved.port ] || { echo "rpserved never published its port"; kill $$pid 2>/dev/null; exit 1; }; \
+	bin/rploadgen -addr "$$(cat bin/rpserved.port)" -n 512 -c 8 -unique 8 -size small -json BENCH_serve.json || { kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid
+
+ci: vet race test-par bench-smoke fuzz-smoke serve-smoke

@@ -55,33 +55,30 @@ type entryResult struct {
 // batchRecord is the JSON shape written by -json: enough to compare a
 // before/after pair of runs (wall clock, throughput, per-stage time)
 // and to confirm both runs computed the same thing (improvement and
-// degradation totals are worker-count-invariant).
+// degradation totals are worker-count-invariant). It carries the shared
+// report.SchemaVersion and the shared report.StageMS rows, so batch
+// records and the serving layer's BENCH_serve.json stay one schema.
 type batchRecord struct {
-	Entries        int             `json:"entries"`
-	Generated      int             `json:"generated"`
-	Seed           int64           `json:"seed"`
-	Size           string          `json:"size"`
-	Jobs           int             `json:"jobs"`
-	Workers        int             `json:"workers"`
-	Check          string          `json:"check"`
-	Legacy         bool            `json:"legacy"`
-	ElapsedMS      float64         `json:"elapsed_ms"`
-	CPUMS          float64         `json:"cpu_ms"` // summed per-entry wall
-	EntriesPerSec  float64         `json:"entries_per_sec"`
-	Functions      int             `json:"functions"`
-	NsPerFunction  float64         `json:"ns_per_function"` // cpu / functions
-	AllocsPerFunc  float64         `json:"allocs_per_func"` // heap allocations / functions
-	AllocBytesPerF float64         `json:"alloc_bytes_per_func"`
-	Failures       int             `json:"failures"`
-	DegradedFuncs  int             `json:"degraded_funcs"`
-	MeanImprovePct float64         `json:"mean_improvement_pct"`
-	Stages         []stageRecordMS `json:"stages"`
-}
-
-type stageRecordMS struct {
-	Stage  string  `json:"stage"`
-	WallMS float64 `json:"wall_ms"`
-	Count  int     `json:"count"`
+	SchemaVersion  int              `json:"schema_version"`
+	Entries        int              `json:"entries"`
+	Generated      int              `json:"generated"`
+	Seed           int64            `json:"seed"`
+	Size           string           `json:"size"`
+	Jobs           int              `json:"jobs"`
+	Workers        int              `json:"workers"`
+	Check          string           `json:"check"`
+	Legacy         bool             `json:"legacy"`
+	ElapsedMS      float64          `json:"elapsed_ms"`
+	CPUMS          float64          `json:"cpu_ms"` // summed per-entry wall
+	EntriesPerSec  float64          `json:"entries_per_sec"`
+	Functions      int              `json:"functions"`
+	NsPerFunction  float64          `json:"ns_per_function"` // cpu / functions
+	AllocsPerFunc  float64          `json:"allocs_per_func"` // heap allocations / functions
+	AllocBytesPerF float64          `json:"alloc_bytes_per_func"`
+	Failures       int              `json:"failures"`
+	DegradedFuncs  int              `json:"degraded_funcs"`
+	MeanImprovePct float64          `json:"mean_improvement_pct"`
+	Stages         []report.StageMS `json:"stages"`
 }
 
 // runBatch compiles and measures the suite plus a generated stress
@@ -216,6 +213,7 @@ func runBatch(cfg batchConfig) error {
 
 	if cfg.JSONPath != "" {
 		rec := batchRecord{
+			SchemaVersion:  report.SchemaVersion,
 			Entries:        len(corpus),
 			Generated:      cfg.Generated,
 			Seed:           cfg.Seed,
@@ -235,13 +233,7 @@ func runBatch(cfg batchConfig) error {
 			DegradedFuncs:  degraded,
 			MeanImprovePct: mean,
 		}
-		for _, r := range stageRows {
-			rec.Stages = append(rec.Stages, stageRecordMS{
-				Stage:  r.Stage,
-				WallMS: float64(r.Wall.Microseconds()) / 1000,
-				Count:  r.Count,
-			})
-		}
+		rec.Stages = report.StageTimingsMS(stageRows)
 		data, err := json.MarshalIndent(rec, "", "  ")
 		if err != nil {
 			return err

@@ -1,0 +1,302 @@
+// Command rploadgen replays a deterministic request mix against a
+// running rpserved instance and measures serving throughput, latency
+// percentiles, and cache hit rate.
+//
+// The mix is fully derived from -seed: -unique generated programs (the
+// same derived-seed corpus the batch harness uses) visited in a
+// deterministic order of -n requests, so two runs against equivalent
+// servers see identical traffic whatever -c concurrency is. Because the
+// mix revisits programs, a correct server serves most requests from its
+// content-addressed cache — the measured hit rate and the per-program
+// outcome-identity check are part of the verdict, not just the timing.
+//
+// Usage:
+//
+//	rploadgen -addr 127.0.0.1:8080 -n 512 -c 8 -unique 8 -size small
+//	rploadgen -addr $(cat rpserved.port) -n 64 -qps 100 -json BENCH_serve.json
+//
+// Exit status is non-zero when no request succeeded, any request drew a
+// 5xx, or two responses for the same program carried different
+// outcomes.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "rpserved address (host:port)")
+		n        = flag.Int("n", 256, "total requests to send")
+		conc     = flag.Int("c", 8, "concurrent client connections")
+		qps      = flag.Float64("qps", 0, "target request rate (0 = as fast as possible)")
+		seed     = flag.Int64("seed", 1, "base seed for the replay corpus and request mix")
+		unique   = flag.Int("unique", 8, "distinct programs in the replay corpus")
+		size     = flag.String("size", "small", "generated program size: small, medium, or large")
+		check    = flag.String("check", "off", "per-request pipeline check level")
+		workers  = flag.Int("workers", 0, "per-request transform worker count (0 = server default)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "client-side HTTP timeout per request")
+		jsonPath = flag.String("json", "", "write a machine-readable BENCH_serve record to this file")
+	)
+	flag.Parse()
+
+	if *n < 1 || *conc < 1 {
+		fatal(fmt.Errorf("need -n >= 1 and -c >= 1"))
+	}
+	corpus, err := workload.ReplayCorpus(*seed, *unique, *size)
+	if err != nil {
+		fatal(err)
+	}
+	bodies := make([][]byte, len(corpus))
+	for i, w := range corpus {
+		body, err := json.Marshal(server.PromoteRequest{
+			Source: w.Src,
+			Options: server.RequestOptions{
+				Check:   *check,
+				Workers: *workers,
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		bodies[i] = body
+	}
+	mix := workload.MixIndexes(*seed, *n, *unique)
+	url := "http://" + strings.TrimPrefix(*addr, "http://") + "/v1/promote"
+	client := &http.Client{Timeout: *timeout}
+
+	// Optional QPS pacing: one shared ticker feeds all clients, so the
+	// aggregate rate is bounded while per-request assignment stays
+	// deterministic (request i always carries program mix[i]).
+	var pace <-chan time.Time
+	if *qps > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / *qps))
+		defer t.Stop()
+		pace = t.C
+	}
+
+	type result struct {
+		program   int
+		status    int
+		cache     string
+		latency   time.Duration
+		outcome   []byte
+		transport error
+	}
+	results := make([]result, *n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if pace != nil {
+					<-pace
+				}
+				r := result{program: mix[i]}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[r.program]))
+				r.latency = time.Since(t0)
+				if err != nil {
+					r.transport = err
+				} else {
+					body, rerr := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					r.status = resp.StatusCode
+					if rerr != nil {
+						r.transport = rerr
+					} else if resp.StatusCode == http.StatusOK {
+						var pr server.PromoteResponse
+						if uerr := json.Unmarshal(body, &pr); uerr != nil {
+							r.transport = uerr
+						} else {
+							r.cache = pr.Serving.Cache
+							r.outcome = pr.Outcome
+						}
+					}
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := 0; i < *n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var (
+		ok, rejected, clientErrs, serverErrs, timeouts, transportErrs int
+		hits, misses, mismatches                                      int
+		latencies                                                     []time.Duration
+		canonical                                                     = make(map[int][]byte, *unique)
+	)
+	for i, r := range results {
+		switch {
+		case r.transport != nil:
+			transportErrs++
+			fmt.Printf("request %d (program %d): %v\n", i, r.program, r.transport)
+		case r.status == http.StatusOK:
+			ok++
+			latencies = append(latencies, r.latency)
+			switch r.cache {
+			case "hit":
+				hits++
+			case "miss":
+				misses++
+			}
+			if want, seen := canonical[r.program]; seen {
+				if !bytes.Equal(want, r.outcome) {
+					mismatches++
+					fmt.Printf("request %d: program %d outcome diverged from earlier response\n", i, r.program)
+				}
+			} else {
+				canonical[r.program] = r.outcome
+			}
+		case r.status == http.StatusTooManyRequests:
+			rejected++
+		case r.status == http.StatusRequestTimeout:
+			timeouts++
+		case r.status >= 500:
+			serverErrs++
+			fmt.Printf("request %d (program %d): HTTP %d\n", i, r.program, r.status)
+		default:
+			clientErrs++
+			fmt.Printf("request %d (program %d): HTTP %d\n", i, r.program, r.status)
+		}
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	var mean time.Duration
+	for _, l := range latencies {
+		mean += l
+	}
+	if len(latencies) > 0 {
+		mean /= time.Duration(len(latencies))
+	}
+	throughput := float64(ok) / elapsed.Seconds()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+
+	fmt.Printf("rploadgen: %d requests (%d programs, seed %d, size %s), -c %d", *n, *unique, *seed, *size, *conc)
+	if *qps > 0 {
+		fmt.Printf(", target %.0f qps", *qps)
+	}
+	fmt.Println()
+	fmt.Printf("elapsed %v  throughput %.1f req/s  ok %d  rejected %d  timeouts %d  client-err %d  server-err %d  transport-err %d\n",
+		elapsed.Round(time.Millisecond), throughput, ok, rejected, timeouts, clientErrs, serverErrs, transportErrs)
+	fmt.Printf("latency p50 %v  p95 %v  p99 %v  mean %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), mean.Round(time.Microsecond))
+	fmt.Printf("cache: %d hits, %d misses (hit rate %.1f%%)  outcome mismatches: %d\n",
+		hits, misses, hitRate*100, mismatches)
+
+	if *jsonPath != "" {
+		rec := serveRecord{
+			SchemaVersion:     report.SchemaVersion,
+			Addr:              *addr,
+			Requests:          *n,
+			Concurrency:       *conc,
+			TargetQPS:         *qps,
+			Unique:            *unique,
+			Seed:              *seed,
+			Size:              *size,
+			Check:             *check,
+			ElapsedMS:         float64(elapsed.Microseconds()) / 1000,
+			ThroughputRPS:     throughput,
+			P50MS:             ms(pct(0.50)),
+			P95MS:             ms(pct(0.95)),
+			P99MS:             ms(pct(0.99)),
+			MeanMS:            ms(mean),
+			OK:                ok,
+			Rejected:          rejected,
+			Timeouts:          timeouts,
+			ClientErrors:      clientErrs,
+			ServerErrors:      serverErrs,
+			TransportErrors:   transportErrs,
+			CacheHits:         hits,
+			CacheMisses:       misses,
+			CacheHitRate:      hitRate,
+			OutcomeMismatches: mismatches,
+		}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+
+	if ok == 0 {
+		fatal(fmt.Errorf("no request succeeded"))
+	}
+	if serverErrs > 0 || mismatches > 0 || transportErrs > 0 {
+		fatal(fmt.Errorf("%d server errors, %d outcome mismatches, %d transport errors",
+			serverErrs, mismatches, transportErrs))
+	}
+}
+
+// serveRecord is the machine-readable BENCH_serve.json shape, stamped
+// with the shared report.SchemaVersion like every other BENCH record.
+type serveRecord struct {
+	SchemaVersion     int     `json:"schema_version"`
+	Addr              string  `json:"addr"`
+	Requests          int     `json:"requests"`
+	Concurrency       int     `json:"concurrency"`
+	TargetQPS         float64 `json:"target_qps"`
+	Unique            int     `json:"unique_programs"`
+	Seed              int64   `json:"seed"`
+	Size              string  `json:"size"`
+	Check             string  `json:"check"`
+	ElapsedMS         float64 `json:"elapsed_ms"`
+	ThroughputRPS     float64 `json:"throughput_rps"`
+	P50MS             float64 `json:"p50_ms"`
+	P95MS             float64 `json:"p95_ms"`
+	P99MS             float64 `json:"p99_ms"`
+	MeanMS            float64 `json:"mean_ms"`
+	OK                int     `json:"ok"`
+	Rejected          int     `json:"rejected"`
+	Timeouts          int     `json:"timeouts"`
+	ClientErrors      int     `json:"client_errors"`
+	ServerErrors      int     `json:"server_errors"`
+	TransportErrors   int     `json:"transport_errors"`
+	CacheHits         int     `json:"cache_hits"`
+	CacheMisses       int     `json:"cache_misses"`
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+	OutcomeMismatches int     `json:"outcome_mismatches"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rploadgen:", err)
+	os.Exit(1)
+}

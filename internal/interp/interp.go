@@ -26,11 +26,26 @@
 package interp
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/ir"
 	"repro/internal/profile"
+)
+
+// ErrStepLimit and ErrTimeout classify the two resource-bound failures
+// a run can hit. They are wrapped (not returned bare) so messages keep
+// their detail; match with errors.Is. The promotion service uses them
+// to map an exhausted request to a timeout response instead of a
+// generic server error.
+var (
+	// ErrStepLimit means the run executed more than Options.MaxSteps
+	// instructions.
+	ErrStepLimit = errors.New("interp: step limit exceeded")
+	// ErrTimeout means the run exceeded Options.Timeout of wall-clock
+	// time.
+	ErrTimeout = errors.New("interp: wall-clock timeout exceeded")
 )
 
 // Options configures a run.
@@ -175,8 +190,7 @@ const timeoutCheckInterval = 1 << 14
 // timeoutCheckInterval steps.
 func (m *machine) checkDeadline() error {
 	if !m.deadline.IsZero() && time.Now().After(m.deadline) {
-		return fmt.Errorf("interp: wall-clock timeout %v exceeded after %d steps",
-			m.opts.Timeout, m.result.Steps)
+		return fmt.Errorf("%w: %v after %d steps", ErrTimeout, m.opts.Timeout, m.result.Steps)
 	}
 	return nil
 }
@@ -438,7 +452,7 @@ func (m *machine) call(f *ir.Function, args []int64, depth int) (int64, error) {
 			in := blk.Instrs[idx]
 			m.result.Steps++
 			if m.result.Steps > m.opts.MaxSteps {
-				return 0, fmt.Errorf("interp: step limit %d exceeded", m.opts.MaxSteps)
+				return 0, fmt.Errorf("%w: limit %d", ErrStepLimit, m.opts.MaxSteps)
 			}
 			if m.result.Steps%timeoutCheckInterval == 0 {
 				if err := m.checkDeadline(); err != nil {

@@ -224,8 +224,13 @@ func (r *runner) analyses(f *ir.Function) (*cfg.DomTree, cfg.DomFrontiers) {
 	return dom, cfg.BuildDomFrontiers(dom)
 }
 
-// Run executes the full pipeline on mini-C source text.
+// Run executes the full pipeline on mini-C source text. Options are
+// validated up front: an out-of-range field returns a typed
+// *OptionError before any compilation happens.
 func Run(src string, opts Options) (*Outcome, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	r := &runner{
 		opts:      opts,
 		out:       &Outcome{Stats: make(map[string]*core.Stats)},

@@ -46,6 +46,29 @@ func SumStageTimings(outcomes ...*pipeline.Outcome) []StageTime {
 	return rows
 }
 
+// StageMS is the stable JSON shape of one aggregated stage-timing row,
+// shared by rpbench's batch records and the serving layer's metrics
+// payloads (wall time in milliseconds so the records are directly
+// plottable).
+type StageMS struct {
+	Stage  string  `json:"stage"`
+	WallMS float64 `json:"wall_ms"`
+	Count  int     `json:"count"`
+}
+
+// StageTimingsMS converts SumStageTimings rows into their JSON shape.
+func StageTimingsMS(rows []StageTime) []StageMS {
+	out := make([]StageMS, len(rows))
+	for i, r := range rows {
+		out[i] = StageMS{
+			Stage:  r.Stage,
+			WallMS: float64(r.Wall.Microseconds()) / 1000,
+			Count:  r.Count,
+		}
+	}
+	return out
+}
+
 // FormatStageTimings renders the per-stage wall time table with each
 // stage's share of the total.
 func FormatStageTimings(rows []StageTime) string {

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// metrics holds the server's counters. Everything is an atomic or a
+// mutex-guarded map of atomics, updated inline on the request path and
+// rendered as Prometheus text by the /metrics handler. Instances are
+// per-Server (no global expvar registration), so tests can run many
+// servers in one process.
+type metrics struct {
+	requests     atomic.Int64 // POST /v1/promote requests accepted for processing
+	ok           atomic.Int64 // 200 responses
+	clientErrors atomic.Int64 // 4xx responses other than rejections
+	serverErrors atomic.Int64 // 5xx responses
+	timeouts     atomic.Int64 // 408 responses (interp step/wall-clock bound hit)
+	rejected     atomic.Int64 // 429 responses (queue full)
+	drained      atomic.Int64 // 503 responses while draining
+
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheEvictions atomic.Int64
+
+	queuedTotal   atomic.Int64 // requests that had to wait for a worker slot
+	queueWaitNS   atomic.Int64 // summed queue wait
+	pipelineNS    atomic.Int64 // summed pipeline wall time (cache misses only)
+	degradedFuncs atomic.Int64 // functions degraded across all runs
+
+	// stageWallNS aggregates per-stage pipeline wall time. Stages are
+	// known up front, so the map is built once and only its values
+	// mutate.
+	stageWallNS map[string]*atomic.Int64
+
+	mu sync.Mutex // serializes /metrics rendering only
+}
+
+func newMetrics() *metrics {
+	m := &metrics{stageWallNS: make(map[string]*atomic.Int64, len(pipeline.Stages()))}
+	for _, s := range pipeline.Stages() {
+		m.stageWallNS[s] = new(atomic.Int64)
+	}
+	return m
+}
+
+// recordStages folds one outcome's stage timings into the aggregate.
+func (m *metrics) recordStages(timings []pipeline.StageTiming) {
+	for _, t := range timings {
+		if c, ok := m.stageWallNS[t.Stage]; ok {
+			c.Add(int64(t.Wall))
+		}
+	}
+}
+
+// writePrometheus renders every counter in Prometheus text exposition
+// format, plus the gauges the server snapshots at render time.
+func (m *metrics) writePrometheus(w io.Writer, s *Server) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	metric := func(name, help, typ string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		fmt.Fprintf(w, "%s %d\n", name, v)
+	}
+	counter := func(name, help string, v int64) { metric(name, help, "counter", v) }
+	gauge := func(name, help string, v int64) { metric(name, help, "gauge", v) }
+
+	counter("rpserved_requests_total", "promotion requests accepted for processing", m.requests.Load())
+	counter("rpserved_responses_ok_total", "successful promotion responses", m.ok.Load())
+	counter("rpserved_responses_client_error_total", "4xx responses other than backpressure rejections", m.clientErrors.Load())
+	counter("rpserved_responses_server_error_total", "5xx responses", m.serverErrors.Load())
+	counter("rpserved_responses_timeout_total", "requests that hit the interpreter step or wall-clock bound", m.timeouts.Load())
+	counter("rpserved_rejected_total", "requests rejected because the admission queue was full", m.rejected.Load())
+	counter("rpserved_drained_total", "requests rejected because the server was draining", m.drained.Load())
+	counter("rpserved_cache_hits_total", "promotion results served from the content-addressed cache", m.cacheHits.Load())
+	counter("rpserved_cache_misses_total", "promotion requests that ran the pipeline", m.cacheMisses.Load())
+	counter("rpserved_cache_evictions_total", "cache entries evicted by the LRU bound", m.cacheEvictions.Load())
+	counter("rpserved_queued_total", "requests that waited for a worker slot", m.queuedTotal.Load())
+	counter("rpserved_queue_wait_ms_total", "summed queue wait in milliseconds", m.queueWaitNS.Load()/int64(time.Millisecond))
+	counter("rpserved_pipeline_ms_total", "summed pipeline wall time in milliseconds (cache misses only)", m.pipelineNS.Load()/int64(time.Millisecond))
+	counter("rpserved_degraded_funcs_total", "functions compiled without promotion after an absorbed stage failure", m.degradedFuncs.Load())
+
+	gauge("rpserved_inflight_workers", "requests currently holding a worker slot", int64(s.adm.inUse()))
+	gauge("rpserved_queue_depth", "requests currently waiting for a worker slot", int64(s.adm.waiting()))
+	gauge("rpserved_cache_entries", "entries in the content-addressed result cache", int64(s.cache.Len()))
+	gauge("rpserved_cache_bytes", "approximate payload bytes held by the result cache", int64(s.cache.Bytes()))
+	draining := int64(0)
+	if s.isDraining() {
+		draining = 1
+	}
+	gauge("rpserved_draining", "1 while the server is draining", draining)
+	gauge("rpserved_uptime_seconds", "seconds since the server was created", int64(time.Since(s.start).Seconds()))
+
+	// Per-stage pipeline wall time, one labeled series per stage, in
+	// canonical stage order (stages that never ran render as 0).
+	fmt.Fprintf(w, "# HELP rpserved_stage_wall_ms_total summed pipeline stage wall time in milliseconds\n")
+	fmt.Fprintf(w, "# TYPE rpserved_stage_wall_ms_total counter\n")
+	for _, stage := range pipeline.Stages() {
+		fmt.Fprintf(w, "rpserved_stage_wall_ms_total{stage=%q} %d\n",
+			stage, m.stageWallNS[stage].Load()/int64(time.Millisecond))
+	}
+}

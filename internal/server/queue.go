@@ -1,0 +1,79 @@
+package server
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrQueueFull is returned by admission.acquire when every worker slot
+// is busy and the waiting queue is at capacity. The handler maps it to
+// an HTTP 429 with a Retry-After hint — explicit backpressure instead
+// of unbounded queueing.
+var ErrQueueFull = errors.New("server: admission queue full")
+
+// admission is the server's two-tier admission control: a fixed pool of
+// worker slots (requests actually running the pipeline) and a bounded
+// queue of requests waiting for a slot. A request beyond both bounds is
+// rejected immediately. Both tiers are plain buffered channels, so
+// waiting requests are served slots in FIFO-ish channel order and a
+// canceled request abandons its queue position without leaking either
+// token.
+type admission struct {
+	workers chan struct{}
+	queue   chan struct{}
+}
+
+// newAdmission sizes the two tiers. workers must be >= 1; depth is the
+// number of requests allowed to wait beyond the ones running (0 = no
+// waiting: reject as soon as every worker is busy).
+func newAdmission(workers, depth int) *admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	a := &admission{
+		workers: make(chan struct{}, workers),
+		queue:   make(chan struct{}, depth),
+	}
+	for i := 0; i < workers; i++ {
+		a.workers <- struct{}{}
+	}
+	for i := 0; i < depth; i++ {
+		a.queue <- struct{}{}
+	}
+	return a
+}
+
+// acquire obtains a worker slot, waiting in the bounded queue if all
+// slots are busy. It returns the release function for the slot, a flag
+// saying whether the request had to queue, ErrQueueFull when the queue
+// is at capacity, or ctx.Err() when the caller gave up while queued.
+func (a *admission) acquire(ctx context.Context) (release func(), queued bool, err error) {
+	// Fast path: a worker slot is free right now.
+	select {
+	case <-a.workers:
+		return func() { a.workers <- struct{}{} }, false, nil
+	default:
+	}
+	// Slow path: take a queue token (or reject), then wait for a worker.
+	select {
+	case <-a.queue:
+	default:
+		return nil, false, ErrQueueFull
+	}
+	defer func() { a.queue <- struct{}{} }()
+	select {
+	case <-a.workers:
+		return func() { a.workers <- struct{}{} }, true, nil
+	case <-ctx.Done():
+		return nil, true, ctx.Err()
+	}
+}
+
+// inUse reports how many worker slots are currently held.
+func (a *admission) inUse() int { return cap(a.workers) - len(a.workers) }
+
+// waiting reports how many requests are currently queued.
+func (a *admission) waiting() int { return cap(a.queue) - len(a.queue) }

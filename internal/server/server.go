@@ -1,0 +1,558 @@
+// Package server is the long-running promotion service: it accepts
+// mini-C programs plus pipeline options over HTTP/JSON, runs them
+// through the register promotion pipeline on a bounded worker pool, and
+// fronts the pipeline with a content-addressed result cache.
+//
+// The serving core is three layers:
+//
+//   - Admission control: a fixed pool of worker slots plus a bounded
+//     waiting queue. A request beyond both bounds gets an immediate 429
+//     with Retry-After — explicit backpressure, never unbounded memory.
+//   - Content-addressed caching: SHA-256 of (canonicalized source,
+//     resolved options) keys a size-bounded LRU of outcome payloads.
+//     The pipeline is deterministic for identical inputs at any worker
+//     count, which is what makes serving a cached outcome sound.
+//   - Isolation and bounds: pipeline stages already run behind panic
+//     isolation (StageError); the server adds per-request interpreter
+//     step and wall-clock ceilings so one hostile program cannot stall
+//     a worker slot forever, and maps resource exhaustion to 408,
+//     malformed requests (typed pipeline.OptionError, parse failures)
+//     to 400, and internal stage failures to 500 with the structured
+//     StageError in the body.
+//
+// Endpoints: POST /v1/promote, GET /healthz, GET /metrics
+// (Prometheus text). Drain stops admission, waits for in-flight
+// requests, and flips /healthz to 503 so load balancers rotate the
+// instance out.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/interp"
+	"repro/internal/pipeline"
+	"repro/internal/report"
+)
+
+// Config sizes the server. The zero value picks sane defaults.
+type Config struct {
+	// Workers is how many requests may run the pipeline concurrently
+	// (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth is how many requests may wait for a worker slot beyond
+	// the ones running (0 = 2×Workers, negative = no waiting).
+	QueueDepth int
+	// CacheEntries bounds the content-addressed result cache
+	// (0 = 1024, negative = caching off).
+	CacheEntries int
+	// MaxSourceBytes bounds the request body (0 = 1 MiB).
+	MaxSourceBytes int64
+	// MaxSteps is the per-request interpreter step ceiling; requests may
+	// ask for less, never more (0 = 50 million).
+	MaxSteps int64
+	// MaxTimeout is the per-request interpreter wall-clock ceiling;
+	// requests may ask for less, never more (0 = 10s).
+	MaxTimeout time.Duration
+	// PipelineWorkers is the default per-request transform worker count
+	// (0 = 1; requests can override within [1, 16]).
+	PipelineWorkers int
+	// EnableFaults allows requests to carry a fault-injection plan
+	// (tests and chaos drills only — never enable on a real deployment).
+	EnableFaults bool
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 50_000_000
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Second
+	}
+	if c.PipelineWorkers <= 0 {
+		c.PipelineWorkers = 1
+	}
+	return c
+}
+
+// Server is one promotion service instance.
+type Server struct {
+	cfg   Config
+	cache *lruCache
+	adm   *admission
+	m     *metrics
+	start time.Time
+
+	// drainMu orders request admission against Drain: a request
+	// registers in wg only while draining is false, and Drain flips the
+	// flag before waiting on wg, so no request can slip in after the
+	// wait starts.
+	drainMu  sync.Mutex
+	draining bool
+	wg       sync.WaitGroup
+
+	// testHook, when non-nil, runs while the request holds its worker
+	// slot, before the pipeline run. Tests use it to keep slots busy
+	// deterministically; it is never set in production.
+	testHook func()
+}
+
+// New builds a server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		cache: newLRUCache(cfg.CacheEntries),
+		adm:   newAdmission(cfg.Workers, cfg.QueueDepth),
+		m:     newMetrics(),
+		start: time.Now(),
+	}
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/promote", s.handlePromote)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// Drain stops admitting new requests and waits for every in-flight
+// request to finish (or ctx to expire). After Drain, /healthz and
+// /v1/promote answer 503; the caller is expected to stop the listener
+// and exit.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+}
+
+// isDraining reports whether Drain has started.
+func (s *Server) isDraining() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.draining
+}
+
+// beginRequest registers an in-flight request unless the server is
+// draining.
+func (s *Server) beginRequest() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.wg.Add(1)
+	return true
+}
+
+// PromoteRequest is the JSON body of POST /v1/promote.
+type PromoteRequest struct {
+	// Source is the mini-C program text.
+	Source string `json:"source"`
+	// Options tunes the pipeline run for this request.
+	Options RequestOptions `json:"options"`
+}
+
+// RequestOptions is the request-level view of pipeline.Options: the
+// per-request configuration is a cheap, cacheable input — part of the
+// cache key — never a server rebuild.
+type RequestOptions struct {
+	// Algorithm is ssa (default), baseline, memopt, or none.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Check is off (default), boundaries, or paranoid.
+	Check string `json:"check,omitempty"`
+	// Workers is the per-request transform worker count
+	// (0 = server default).
+	Workers int `json:"workers,omitempty"`
+	// StaticProfile promotes with the loop-depth estimator instead of a
+	// training run.
+	StaticProfile bool `json:"static_profile,omitempty"`
+	// PreMemOpts runs the memory-SSA scalar optimizations before
+	// promotion.
+	PreMemOpts bool `json:"pre_mem_opts,omitempty"`
+	// PaperProfitFormula uses the paper's exact printed profit formula.
+	PaperProfitFormula bool `json:"paper_profit_formula,omitempty"`
+	// WholeFunctionScope promotes at whole-function scope.
+	WholeFunctionScope bool `json:"whole_function_scope,omitempty"`
+	// MaxPromotedWebs caps promotions per function (0 = unlimited).
+	MaxPromotedWebs int `json:"max_promoted_webs,omitempty"`
+	// SkipMeasurement skips the before/after interpreter runs.
+	SkipMeasurement bool `json:"skip_measurement,omitempty"`
+	// MaxSteps caps interpreter steps for this request; clamped to the
+	// server ceiling (0 = ceiling).
+	MaxSteps int64 `json:"max_steps,omitempty"`
+	// TimeoutMS caps interpreter wall-clock time for this request in
+	// milliseconds; clamped to the server ceiling (0 = ceiling).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Fault injects a deterministic fault plan (stage[/func][:mode]);
+	// rejected unless the server runs with EnableFaults.
+	Fault string `json:"fault,omitempty"`
+}
+
+// resolvedOptions is the canonicalized form of RequestOptions after
+// defaulting and clamping — the exact value hashed into the cache key,
+// so every spelling of the same effective configuration shares a cache
+// entry.
+type resolvedOptions struct {
+	Algorithm          string `json:"algorithm"`
+	Check              string `json:"check"`
+	Workers            int    `json:"workers"`
+	StaticProfile      bool   `json:"static_profile"`
+	PreMemOpts         bool   `json:"pre_mem_opts"`
+	PaperProfitFormula bool   `json:"paper_profit_formula"`
+	WholeFunctionScope bool   `json:"whole_function_scope"`
+	MaxPromotedWebs    int    `json:"max_promoted_webs"`
+	SkipMeasurement    bool   `json:"skip_measurement"`
+	MaxSteps           int64  `json:"max_steps"`
+	TimeoutMS          int64  `json:"timeout_ms"`
+	Fault              string `json:"fault"`
+}
+
+// resolve canonicalizes the request options against the server's
+// ceilings and converts them to pipeline options. Invalid values come
+// back as a *badRequestError.
+func (s *Server) resolve(ro RequestOptions) (resolvedOptions, pipeline.Options, error) {
+	var res resolvedOptions
+	var popts pipeline.Options
+
+	res.Algorithm = ro.Algorithm
+	if res.Algorithm == "" {
+		res.Algorithm = "ssa"
+	}
+	alg, err := pipeline.ParseAlgorithm(res.Algorithm)
+	if err != nil {
+		return res, popts, &badRequestError{err}
+	}
+	res.Check = ro.Check
+	if res.Check == "" {
+		res.Check = "off"
+	}
+	check, err := pipeline.ParseCheckLevel(res.Check)
+	if err != nil {
+		return res, popts, &badRequestError{err}
+	}
+	res.Workers = ro.Workers
+	if res.Workers == 0 {
+		res.Workers = s.cfg.PipelineWorkers
+	}
+	if res.Workers < 0 || res.Workers > 16 {
+		return res, popts, &badRequestError{fmt.Errorf("server: workers %d out of range [0, 16]", ro.Workers)}
+	}
+	if ro.MaxSteps < 0 || ro.TimeoutMS < 0 || ro.MaxPromotedWebs < 0 {
+		return res, popts, &badRequestError{fmt.Errorf("server: negative resource bound in options")}
+	}
+	res.MaxSteps = ro.MaxSteps
+	if res.MaxSteps == 0 || res.MaxSteps > s.cfg.MaxSteps {
+		res.MaxSteps = s.cfg.MaxSteps
+	}
+	maxMS := s.cfg.MaxTimeout.Milliseconds()
+	res.TimeoutMS = ro.TimeoutMS
+	if res.TimeoutMS == 0 || res.TimeoutMS > maxMS {
+		res.TimeoutMS = maxMS
+	}
+	res.StaticProfile = ro.StaticProfile
+	res.PreMemOpts = ro.PreMemOpts
+	res.PaperProfitFormula = ro.PaperProfitFormula
+	res.WholeFunctionScope = ro.WholeFunctionScope
+	res.MaxPromotedWebs = ro.MaxPromotedWebs
+	res.SkipMeasurement = ro.SkipMeasurement
+	res.Fault = ro.Fault
+
+	popts = pipeline.Options{
+		Algorithm:          alg,
+		Check:              check,
+		Workers:            res.Workers,
+		StaticProfile:      res.StaticProfile,
+		PreMemOpts:         res.PreMemOpts,
+		PaperProfitFormula: res.PaperProfitFormula,
+		WholeFunctionScope: res.WholeFunctionScope,
+		MaxPromotedWebs:    res.MaxPromotedWebs,
+		SkipMeasurement:    res.SkipMeasurement,
+		Interp: interp.Options{
+			MaxSteps: res.MaxSteps,
+			Timeout:  time.Duration(res.TimeoutMS) * time.Millisecond,
+		},
+	}
+	if ro.Fault != "" {
+		if !s.cfg.EnableFaults {
+			return res, popts, &badRequestError{fmt.Errorf("server: fault injection disabled (start with -enable-faults)")}
+		}
+		plan, err := faults.ParsePlan(ro.Fault)
+		if err != nil {
+			return res, popts, &badRequestError{err}
+		}
+		popts.Faults = faults.New(plan)
+	}
+	if err := popts.Validate(); err != nil {
+		return res, popts, &badRequestError{err}
+	}
+	return res, popts, nil
+}
+
+// badRequestError wraps validation failures so the handler can map them
+// to 400 while keeping the underlying typed error (pipeline.OptionError
+// etc.) inspectable.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+// ServingMeta is the per-request serving metadata attached to every
+// promotion response. Unlike the outcome, it legitimately differs
+// between identical requests (cache state, queue wait, timings).
+type ServingMeta struct {
+	SchemaVersion int              `json:"schema_version"`
+	Cache         string           `json:"cache"` // hit, miss, or bypass (caching off)
+	QueueWaitMS   float64          `json:"queue_wait_ms"`
+	PipelineMS    float64          `json:"pipeline_ms"` // 0 on cache hits
+	Stages        []report.StageMS `json:"stages,omitempty"`
+}
+
+// PromoteResponse is the JSON body of a successful promotion.
+type PromoteResponse struct {
+	// Outcome is the stable, versioned outcome encoding — identical for
+	// identical (source, options) at any worker count.
+	Outcome json.RawMessage `json:"outcome"`
+	// Report is the pipeline's canonical text report.
+	Report string `json:"report"`
+	// Serving is the per-request serving metadata.
+	Serving ServingMeta `json:"serving"`
+}
+
+// ErrorResponse is the JSON body of every non-200 response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Kind classifies the failure: bad_request, queue_full, draining,
+	// timeout, or stage_error.
+	Kind string `json:"kind"`
+	// Stage and Func identify the failing pipeline stage for
+	// kind=stage_error / kind=timeout.
+	Stage string `json:"stage,omitempty"`
+	Func  string `json:"func,omitempty"`
+}
+
+// handlePromote serves POST /v1/promote.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, ErrorResponse{
+			Error: "use POST", Kind: "bad_request"})
+		return
+	}
+	if !s.beginRequest() {
+		s.m.drained.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, ErrorResponse{
+			Error: "server is draining", Kind: "draining"})
+		return
+	}
+	defer s.wg.Done()
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxSourceBytes+1))
+	if err != nil {
+		s.m.clientErrors.Add(1)
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{
+			Error: "reading body: " + err.Error(), Kind: "bad_request"})
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxSourceBytes {
+		s.m.clientErrors.Add(1)
+		s.writeError(w, http.StatusRequestEntityTooLarge, ErrorResponse{
+			Error: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxSourceBytes), Kind: "bad_request"})
+		return
+	}
+	var req PromoteRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.m.clientErrors.Add(1)
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{
+			Error: "decoding request: " + err.Error(), Kind: "bad_request"})
+		return
+	}
+	if req.Source == "" {
+		s.m.clientErrors.Add(1)
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{
+			Error: "empty source", Kind: "bad_request"})
+		return
+	}
+	resolved, popts, err := s.resolve(req.Options)
+	if err != nil {
+		s.m.clientErrors.Add(1)
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{
+			Error: err.Error(), Kind: "bad_request"})
+		return
+	}
+	s.m.requests.Add(1)
+
+	// Cache lookup before admission: a hit never needs a worker slot,
+	// so a hot cache keeps absorbing traffic even when the pool is
+	// saturated.
+	key := cacheKey(req.Source, resolved)
+	if hit, ok := s.cache.Get(key); ok {
+		s.m.cacheHits.Add(1)
+		s.m.ok.Add(1)
+		s.writeJSON(w, http.StatusOK, PromoteResponse{
+			Outcome: json.RawMessage(hit.outcome),
+			Report:  hit.report,
+			Serving: ServingMeta{SchemaVersion: report.SchemaVersion, Cache: "hit"},
+		})
+		return
+	}
+
+	// Admission: take a worker slot or reject with backpressure.
+	waitStart := time.Now()
+	release, queued, err := s.adm.acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.m.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests, ErrorResponse{
+				Error: "admission queue full", Kind: "queue_full"})
+			return
+		}
+		// The client went away while queued.
+		s.m.clientErrors.Add(1)
+		s.writeError(w, http.StatusRequestTimeout, ErrorResponse{
+			Error: "canceled while queued: " + err.Error(), Kind: "timeout"})
+		return
+	}
+	defer release()
+	queueWait := time.Since(waitStart)
+	if queued {
+		s.m.queuedTotal.Add(1)
+		s.m.queueWaitNS.Add(int64(queueWait))
+	}
+
+	if s.testHook != nil {
+		s.testHook()
+	}
+
+	pipeStart := time.Now()
+	out, runErr := pipeline.Run(req.Source, popts)
+	pipeWall := time.Since(pipeStart)
+
+	if runErr != nil {
+		s.writeRunError(w, runErr)
+		return
+	}
+	s.m.pipelineNS.Add(int64(pipeWall))
+	s.m.recordStages(out.Timings)
+	s.m.degradedFuncs.Add(int64(len(out.Degraded)))
+
+	outcomeJSON, err := json.Marshal(report.EncodeOutcome(out))
+	if err != nil {
+		s.m.serverErrors.Add(1)
+		s.writeError(w, http.StatusInternalServerError, ErrorResponse{
+			Error: "encoding outcome: " + err.Error(), Kind: "stage_error"})
+		return
+	}
+	entry := cachedOutcome{outcome: outcomeJSON, report: out.Report()}
+	cacheState := "bypass"
+	if s.cfg.CacheEntries > 0 {
+		s.m.cacheMisses.Add(1)
+		s.m.cacheEvictions.Add(int64(s.cache.Put(key, entry)))
+		cacheState = "miss"
+	}
+
+	s.m.ok.Add(1)
+	s.writeJSON(w, http.StatusOK, PromoteResponse{
+		Outcome: json.RawMessage(outcomeJSON),
+		Report:  entry.report,
+		Serving: ServingMeta{
+			SchemaVersion: report.SchemaVersion,
+			Cache:         cacheState,
+			QueueWaitMS:   float64(queueWait.Microseconds()) / 1000,
+			PipelineMS:    float64(pipeWall.Microseconds()) / 1000,
+			Stages:        report.StageTimingsMS(report.SumStageTimings(out)),
+		},
+	})
+}
+
+// writeRunError maps a pipeline failure to its HTTP shape: interpreter
+// resource exhaustion to 408, everything else (stage panics included —
+// the StageError machinery already absorbed them into structured form)
+// to 500 with the StageError fields in the body.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+	resp := ErrorResponse{Error: err.Error(), Kind: "stage_error"}
+	var se *pipeline.StageError
+	if errors.As(err, &se) {
+		resp.Stage = se.Stage
+		resp.Func = se.Func
+	}
+	if errors.Is(err, interp.ErrTimeout) || errors.Is(err, interp.ErrStepLimit) {
+		resp.Kind = "timeout"
+		s.m.timeouts.Add(1)
+		s.writeError(w, http.StatusRequestTimeout, resp)
+		return
+	}
+	s.m.serverErrors.Add(1)
+	s.writeError(w, http.StatusInternalServerError, resp)
+}
+
+// handleHealthz serves GET /healthz: 200 while serving, 503 while
+// draining — the signal a load balancer needs to rotate the instance
+// out before the listener closes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.isDraining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, map[string]any{
+		"status":   status,
+		"uptime_s": int64(time.Since(s.start).Seconds()),
+	})
+}
+
+// handleMetrics serves GET /metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.writePrometheus(w, s)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, resp ErrorResponse) {
+	s.writeJSON(w, code, resp)
+}
