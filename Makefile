@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 BATCH ?= 32
 JOBS ?= $(shell nproc 2>/dev/null || echo 4)
 
-.PHONY: build test vet race test-par fuzz-smoke bench-par bench-hot bench-smoke serve-smoke bench-serve ci
+.PHONY: build test vet race test-par fuzz-smoke bench-par bench-hot bench-smoke serve-smoke bench-serve chaos-smoke ci
 
 build:
 	$(GO) build ./...
@@ -92,4 +92,11 @@ bench-serve:
 	kill -TERM $$pid; \
 	wait $$pid
 
-ci: vet race test-par bench-smoke fuzz-smoke serve-smoke
+# Chaos drill: kill -9 mid-load and restart against the same cache dir
+# (must come back warm with byte-identical outcomes), then serve through
+# injected disk read/write/checksum faults (must degrade to
+# recomputation — never a 5xx, never wrong bytes).
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
+
+ci: vet race test-par bench-smoke fuzz-smoke serve-smoke chaos-smoke

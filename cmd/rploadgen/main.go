@@ -15,20 +15,31 @@
 //	rploadgen -addr 127.0.0.1:8080 -n 512 -c 8 -unique 8 -size small
 //	rploadgen -addr $(cat rpserved.port) -n 64 -qps 100 -json BENCH_serve.json
 //
+// A 429 (backpressure or rate limiting) is retried up to -retries times,
+// honoring the server's Retry-After hint with client-side jitter, capped
+// at -retry-max-wait per attempt; requests that exhaust the budget count
+// as gave_up. With -outcomes the per-program outcome SHA-256 map is
+// written to a file, so two runs against equivalent servers (or one
+// server across a restart) can be diffed for byte identity.
+//
 // Exit status is non-zero when no request succeeded, any request drew a
-// 5xx, or two responses for the same program carried different
-// outcomes.
+// 5xx, two responses for the same program carried different outcomes,
+// or fewer than -min-disk-hits responses came from the disk tier.
 package main
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -51,6 +62,11 @@ func main() {
 		workers  = flag.Int("workers", 0, "per-request transform worker count (0 = server default)")
 		timeout  = flag.Duration("timeout", 60*time.Second, "client-side HTTP timeout per request")
 		jsonPath = flag.String("json", "", "write a machine-readable BENCH_serve record to this file")
+
+		retries      = flag.Int("retries", 3, "retry budget per request for 429 responses (0 = no retries)")
+		retryMaxWait = flag.Duration("retry-max-wait", 5*time.Second, "cap on a single Retry-After backoff")
+		outcomesPath = flag.String("outcomes", "", "write the per-program outcome SHA-256 map to this file")
+		minDiskHits  = flag.Int("min-disk-hits", 0, "fail unless at least this many responses came from the disk tier")
 	)
 	flag.Parse()
 
@@ -96,6 +112,8 @@ func main() {
 		latency   time.Duration
 		outcome   []byte
 		transport error
+		retries   int  // 429 retry attempts consumed
+		gaveUp    bool // still 429 after exhausting the retry budget
 	}
 	results := make([]result, *n)
 	jobs := make(chan int)
@@ -103,25 +121,48 @@ func main() {
 	start := time.Now()
 	for c := 0; c < *conc; c++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			// Per-worker rng for backoff jitter: reproducible per seed,
+			// no lock contention across workers.
+			rng := rand.New(rand.NewSource(*seed + int64(worker)))
 			for i := range jobs {
 				if pace != nil {
 					<-pace
 				}
 				r := result{program: mix[i]}
-				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[r.program]))
-				r.latency = time.Since(t0)
-				if err != nil {
-					r.transport = err
-				} else {
+				for attempt := 0; ; attempt++ {
+					t0 := time.Now()
+					resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[r.program]))
+					r.latency = time.Since(t0)
+					if err != nil {
+						r.transport = err
+						break
+					}
 					body, rerr := io.ReadAll(resp.Body)
 					resp.Body.Close()
 					r.status = resp.StatusCode
 					if rerr != nil {
 						r.transport = rerr
-					} else if resp.StatusCode == http.StatusOK {
+						break
+					}
+					if resp.StatusCode == http.StatusTooManyRequests && attempt < *retries {
+						// Honor the server's hint, jittered so retried
+						// clients don't re-collide, bounded so a hostile
+						// hint can't stall the run.
+						wait := retryAfter(resp.Header.Get("Retry-After"))
+						wait += time.Duration(rng.Int63n(int64(250 * time.Millisecond)))
+						if wait > *retryMaxWait {
+							wait = *retryMaxWait
+						}
+						time.Sleep(wait)
+						r.retries++
+						continue
+					}
+					if resp.StatusCode == http.StatusTooManyRequests && *retries > 0 {
+						r.gaveUp = true
+					}
+					if resp.StatusCode == http.StatusOK {
 						var pr server.PromoteResponse
 						if uerr := json.Unmarshal(body, &pr); uerr != nil {
 							r.transport = uerr
@@ -130,10 +171,11 @@ func main() {
 							r.outcome = pr.Outcome
 						}
 					}
+					break
 				}
 				results[i] = r
 			}
-		}()
+		}(c)
 	}
 	for i := 0; i < *n; i++ {
 		jobs <- i
@@ -144,11 +186,16 @@ func main() {
 
 	var (
 		ok, rejected, clientErrs, serverErrs, timeouts, transportErrs int
-		hits, misses, mismatches                                      int
+		hits, diskHits, collapsed, misses, mismatches                 int
+		totalRetries, gaveUp                                          int
 		latencies                                                     []time.Duration
 		canonical                                                     = make(map[int][]byte, *unique)
 	)
 	for i, r := range results {
+		totalRetries += r.retries
+		if r.gaveUp {
+			gaveUp++
+		}
 		switch {
 		case r.transport != nil:
 			transportErrs++
@@ -159,6 +206,10 @@ func main() {
 			switch r.cache {
 			case "hit":
 				hits++
+			case "disk":
+				diskHits++
+			case "collapsed":
+				collapsed++
 			case "miss":
 				misses++
 			}
@@ -200,8 +251,10 @@ func main() {
 	}
 	throughput := float64(ok) / elapsed.Seconds()
 	hitRate := 0.0
-	if hits+misses > 0 {
-		hitRate = float64(hits) / float64(hits+misses)
+	if ok > 0 {
+		// Anything not recomputed from scratch counts as served from
+		// cache: memory hit, disk hit, or a collapsed singleflight wait.
+		hitRate = float64(hits+diskHits+collapsed) / float64(ok)
 	}
 
 	fmt.Printf("rploadgen: %d requests (%d programs, seed %d, size %s), -c %d", *n, *unique, *seed, *size, *conc)
@@ -211,11 +264,12 @@ func main() {
 	fmt.Println()
 	fmt.Printf("elapsed %v  throughput %.1f req/s  ok %d  rejected %d  timeouts %d  client-err %d  server-err %d  transport-err %d\n",
 		elapsed.Round(time.Millisecond), throughput, ok, rejected, timeouts, clientErrs, serverErrs, transportErrs)
+	fmt.Printf("retries %d  gave-up %d\n", totalRetries, gaveUp)
 	fmt.Printf("latency p50 %v  p95 %v  p99 %v  mean %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), mean.Round(time.Microsecond))
-	fmt.Printf("cache: %d hits, %d misses (hit rate %.1f%%)  outcome mismatches: %d\n",
-		hits, misses, hitRate*100, mismatches)
+	fmt.Printf("cache: %d memory, %d disk, %d collapsed, %d misses (hit rate %.1f%%)  outcome mismatches: %d\n",
+		hits, diskHits, collapsed, misses, hitRate*100, mismatches)
 
 	if *jsonPath != "" {
 		rec := serveRecord{
@@ -236,11 +290,15 @@ func main() {
 			MeanMS:            ms(mean),
 			OK:                ok,
 			Rejected:          rejected,
+			Retries:           totalRetries,
+			GaveUp:            gaveUp,
 			Timeouts:          timeouts,
 			ClientErrors:      clientErrs,
 			ServerErrors:      serverErrs,
 			TransportErrors:   transportErrs,
 			CacheHits:         hits,
+			DiskHits:          diskHits,
+			Collapsed:         collapsed,
 			CacheMisses:       misses,
 			CacheHitRate:      hitRate,
 			OutcomeMismatches: mismatches,
@@ -255,6 +313,25 @@ func main() {
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 
+	if *outcomesPath != "" {
+		// One SHA-256 per program, keyed by program index. Two runs
+		// against equivalent servers must produce identical files —
+		// that's the chaos harness's byte-identity check.
+		fps := make(map[string]string, len(canonical))
+		for prog, outcome := range canonical {
+			sum := sha256.Sum256(outcome)
+			fps[strconv.Itoa(prog)] = hex.EncodeToString(sum[:])
+		}
+		data, err := json.MarshalIndent(fps, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*outcomesPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *outcomesPath)
+	}
+
 	if ok == 0 {
 		fatal(fmt.Errorf("no request succeeded"))
 	}
@@ -262,6 +339,18 @@ func main() {
 		fatal(fmt.Errorf("%d server errors, %d outcome mismatches, %d transport errors",
 			serverErrs, mismatches, transportErrs))
 	}
+	if diskHits < *minDiskHits {
+		fatal(fmt.Errorf("only %d disk-tier hits, need %d (cold tier did not survive)", diskHits, *minDiskHits))
+	}
+}
+
+// retryAfter parses a Retry-After header in whole seconds; a missing or
+// malformed header falls back to a short fixed delay.
+func retryAfter(h string) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 100 * time.Millisecond
 }
 
 // serveRecord is the machine-readable BENCH_serve.json shape, stamped
@@ -284,11 +373,15 @@ type serveRecord struct {
 	MeanMS            float64 `json:"mean_ms"`
 	OK                int     `json:"ok"`
 	Rejected          int     `json:"rejected"`
+	Retries           int     `json:"retries"`
+	GaveUp            int     `json:"gave_up"`
 	Timeouts          int     `json:"timeouts"`
 	ClientErrors      int     `json:"client_errors"`
 	ServerErrors      int     `json:"server_errors"`
 	TransportErrors   int     `json:"transport_errors"`
 	CacheHits         int     `json:"cache_hits"`
+	DiskHits          int     `json:"disk_hits"`
+	Collapsed         int     `json:"collapsed"`
 	CacheMisses       int     `json:"cache_misses"`
 	CacheHitRate      float64 `json:"cache_hit_rate"`
 	OutcomeMismatches int     `json:"outcome_mismatches"`

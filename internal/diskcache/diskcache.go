@@ -1,0 +1,401 @@
+// Package diskcache is a durable content-addressed store: the cold tier
+// below the serving layer's in-memory result cache. Entries are keyed
+// by the same SHA-256 content address the memory tier uses and live as
+// individual files under a format-version directory, so a restarted
+// replica comes back warm and a future format change is a new directory
+// rather than a migration.
+//
+// The durability contract is the paper's own invariant turned into a
+// storage rule: a promotion outcome is a pure function of (source,
+// resolved options), so the store must either return the exact bytes
+// that were written or admit it cannot — never plausible-but-wrong
+// bytes. Concretely:
+//
+//   - Writes are atomic: payloads go to a temp file in the same
+//     filesystem, are fsynced, and are renamed into place. A crash at
+//     any instant leaves either the old state or the new state, never a
+//     torn entry. Stale temp files are swept on Open.
+//   - Reads verify: every entry carries a header with a magic tag,
+//     payload length, and payload SHA-256. A mismatch (truncation, bit
+//     flip, partial write that somehow survived) quarantines the file
+//     into a bad/ subdirectory and reports ErrCorrupt — the caller
+//     degrades to a recompute; the operator keeps the evidence.
+//   - Size is bounded: when the store exceeds its byte budget a
+//     background GC evicts entries least-recently-used first (read
+//     hits re-stamp the file mtime, so recency survives restarts too).
+//
+// A *faults.DiskInjector can be plugged in to drive the degraded paths
+// deterministically: injected read/write failures surface as errors
+// (the caller treats them as misses), injected checksum faults force
+// the quarantine path, and slow-IO adds latency — the knobs the chaos
+// harness turns.
+package diskcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// FormatVersion names the on-disk layout. Entries live under
+// <root>/v<FormatVersion>/; bumping it orphans (never misreads) old
+// entries.
+const FormatVersion = 1
+
+// magic tags every entry file. The final byte is the format version, so
+// a file from a future layout fails fast as corrupt rather than being
+// half-parsed.
+var magic = []byte{'R', 'P', 'D', 'C', FormatVersion}
+
+// headerSize is magic + 32-byte payload SHA-256 + 8-byte payload length.
+const headerSize = len("RPDC*") + sha256.Size + 8
+
+var (
+	// ErrNotFound reports a key with no entry.
+	ErrNotFound = errors.New("diskcache: entry not found")
+	// ErrCorrupt reports an entry that failed verification and was
+	// quarantined. The caller should treat it as a miss and recompute.
+	ErrCorrupt = errors.New("diskcache: entry corrupt (quarantined)")
+)
+
+// Store is one on-disk cache instance. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir      string // <root>/v1
+	tmpDir   string // <root>/v1/tmp — same filesystem, so rename is atomic
+	badDir   string // <root>/v1/bad — quarantined entries
+	maxBytes int64  // GC budget; <= 0 means unbounded
+	chaos    *faults.DiskInjector
+
+	mu        sync.Mutex
+	bytes     int64 // payload + header bytes of live entries (approximate under races, re-trued by GC)
+	count     int
+	gcRunning bool
+	tmpSeq    atomic.Int64
+
+	quarantined atomic.Int64
+	gcEvicted   atomic.Int64
+	readErrs    atomic.Int64
+	writeErrs   atomic.Int64
+}
+
+// Open creates (or reopens) the store rooted at root. maxBytes bounds
+// the live entry bytes (<= 0 = unbounded); chaos may be nil. Reopening
+// an existing root walks it once to rebuild the size accounting — that
+// walk is what makes a restarted replica warm instead of amnesiac.
+func Open(root string, maxBytes int64, chaos *faults.DiskInjector) (*Store, error) {
+	s := &Store{
+		dir:      filepath.Join(root, fmt.Sprintf("v%d", FormatVersion)),
+		maxBytes: maxBytes,
+		chaos:    chaos,
+	}
+	s.tmpDir = filepath.Join(s.dir, "tmp")
+	s.badDir = filepath.Join(s.dir, "bad")
+	for _, d := range []string{s.dir, s.tmpDir, s.badDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("diskcache: open: %w", err)
+		}
+	}
+	// A crash can strand temp files; they were never visible, so they
+	// are garbage by construction.
+	if stale, err := os.ReadDir(s.tmpDir); err == nil {
+		for _, e := range stale {
+			os.Remove(filepath.Join(s.tmpDir, e.Name()))
+		}
+	}
+	entries, err := s.walk()
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		s.bytes += e.size
+		s.count++
+	}
+	return s, nil
+}
+
+// path maps a key to its entry file, sharded by key prefix so no single
+// directory grows unboundedly.
+func (s *Store) path(key string) string {
+	shard := "__"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(s.dir, shard, key)
+}
+
+// Get returns the payload stored for key. It returns ErrNotFound for a
+// missing entry, ErrCorrupt after quarantining an entry that failed
+// verification, and other errors for environmental failures (including
+// injected ones) — every non-nil error means "treat as a miss".
+func (s *Store) Get(key string) ([]byte, error) {
+	if err := s.chaos.Read(key); err != nil {
+		s.readErrs.Add(1)
+		return nil, err
+	}
+	p := s.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		s.readErrs.Add(1)
+		return nil, fmt.Errorf("diskcache: read %s: %w", key, err)
+	}
+	payload, err := decode(data)
+	if err == nil && s.chaos.Checksum(key) {
+		err = fmt.Errorf("injected checksum mismatch")
+	}
+	if err != nil {
+		s.quarantine(key, p, int64(len(data)))
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, key, err)
+	}
+	// Re-stamp recency so GC's LRU-by-atime ordering tracks reads even
+	// on filesystems mounted noatime. Best effort: a failure here only
+	// ages the entry.
+	now := time.Now()
+	_ = os.Chtimes(p, now, now)
+	return payload, nil
+}
+
+// Put durably stores payload under key. Existing entries are left in
+// place (the store is content-addressed: same key, same bytes) with
+// their recency refreshed. Any error means the entry may be absent but
+// is never torn.
+func (s *Store) Put(key string, payload []byte) error {
+	if err := s.chaos.Write(key); err != nil {
+		s.writeErrs.Add(1)
+		return err
+	}
+	p := s.path(key)
+	if _, err := os.Stat(p); err == nil {
+		now := time.Now()
+		_ = os.Chtimes(p, now, now)
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		s.writeErrs.Add(1)
+		return fmt.Errorf("diskcache: write %s: %w", key, err)
+	}
+	data := encode(payload)
+	tmp := filepath.Join(s.tmpDir, fmt.Sprintf("%s.%d.%d", key, os.Getpid(), s.tmpSeq.Add(1)))
+	if err := writeFileSync(tmp, data); err != nil {
+		os.Remove(tmp)
+		s.writeErrs.Add(1)
+		return fmt.Errorf("diskcache: write %s: %w", key, err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		s.writeErrs.Add(1)
+		return fmt.Errorf("diskcache: write %s: %w", key, err)
+	}
+	// fsync the shard directory so the rename itself is durable; best
+	// effort — a failure degrades durability for this entry, not
+	// integrity.
+	if d, err := os.Open(filepath.Dir(p)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+
+	s.mu.Lock()
+	s.bytes += int64(len(data))
+	s.count++
+	over := s.maxBytes > 0 && s.bytes > s.maxBytes && !s.gcRunning
+	if over {
+		s.gcRunning = true
+	}
+	s.mu.Unlock()
+	if over {
+		go s.gc()
+	}
+	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// encode frames a payload: magic, payload SHA-256, payload length,
+// payload.
+func encode(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	data := make([]byte, 0, headerSize+len(payload))
+	data = append(data, magic...)
+	data = append(data, sum[:]...)
+	data = binary.BigEndian.AppendUint64(data, uint64(len(payload)))
+	return append(data, payload...)
+}
+
+// decode verifies a framed entry and returns its payload.
+func decode(data []byte) ([]byte, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("short entry: %d bytes", len(data))
+	}
+	if !bytes.Equal(data[:len(magic)], magic) {
+		return nil, fmt.Errorf("bad magic %x", data[:len(magic)])
+	}
+	var sum [sha256.Size]byte
+	copy(sum[:], data[len(magic):])
+	n := binary.BigEndian.Uint64(data[len(magic)+sha256.Size : headerSize])
+	payload := data[headerSize:]
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("length mismatch: header %d, payload %d", n, len(payload))
+	}
+	if sha256.Sum256(payload) != sum {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	return payload, nil
+}
+
+// quarantine moves a failed entry into bad/ (preserving the evidence)
+// and drops it from the accounting. If the move itself fails the entry
+// is removed outright — a corrupt file must never be served twice.
+func (s *Store) quarantine(key, path string, size int64) {
+	if err := os.Rename(path, filepath.Join(s.badDir, key)); err != nil {
+		os.Remove(path)
+	}
+	s.quarantined.Add(1)
+	s.mu.Lock()
+	s.bytes -= size
+	s.count--
+	if s.bytes < 0 {
+		s.bytes = 0
+	}
+	if s.count < 0 {
+		s.count = 0
+	}
+	s.mu.Unlock()
+}
+
+// entryInfo is one live entry seen by a directory walk.
+type entryInfo struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// walk lists live entries (excluding tmp/ and bad/).
+func (s *Store) walk() ([]entryInfo, error) {
+	var out []entryInfo
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("diskcache: walk: %w", err)
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() || sh.Name() == "tmp" || sh.Name() == "bad" {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			out = append(out, entryInfo{
+				path:  filepath.Join(s.dir, sh.Name(), f.Name()),
+				size:  info.Size(),
+				mtime: info.ModTime(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// gc evicts least-recently-used entries until the store fits its byte
+// budget, then re-trues the accounting from the walk it took anyway.
+func (s *Store) gc() {
+	defer func() {
+		s.mu.Lock()
+		s.gcRunning = false
+		s.mu.Unlock()
+	}()
+	entries, err := s.walk()
+	if err != nil {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	live := len(entries)
+	for _, e := range entries {
+		if total <= s.maxBytes {
+			break
+		}
+		if os.Remove(e.path) == nil {
+			total -= e.size
+			live--
+			s.gcEvicted.Add(1)
+		}
+	}
+	s.mu.Lock()
+	s.bytes = total
+	s.count = live
+	s.mu.Unlock()
+}
+
+// GC runs one synchronous collection pass (tests and operators; the
+// serving path relies on the automatic background pass).
+func (s *Store) GC() {
+	s.mu.Lock()
+	if s.gcRunning {
+		s.mu.Unlock()
+		return
+	}
+	s.gcRunning = true
+	s.mu.Unlock()
+	s.gc()
+}
+
+// Stats is a point-in-time snapshot for metrics.
+type Stats struct {
+	Entries     int
+	Bytes       int64
+	Quarantined int64 // entries quarantined since Open
+	Evicted     int64 // entries evicted by GC since Open
+	ReadErrors  int64 // failed or injected reads since Open
+	WriteErrors int64 // failed or injected writes since Open
+}
+
+// Stats returns current counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	count, bytes := s.count, s.bytes
+	s.mu.Unlock()
+	return Stats{
+		Entries:     count,
+		Bytes:       bytes,
+		Quarantined: s.quarantined.Load(),
+		Evicted:     s.gcEvicted.Load(),
+		ReadErrors:  s.readErrs.Load(),
+		WriteErrors: s.writeErrs.Load(),
+	}
+}

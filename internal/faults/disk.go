@@ -1,0 +1,159 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjectedDisk is the sentinel wrapped by every injected disk fault,
+// so storage code and tests can tell synthetic failures from real ones
+// with errors.Is.
+var ErrInjectedDisk = errors.New("faults: injected disk fault")
+
+// DiskPlan configures the disk chaos layer: per-operation fault
+// probabilities, an added latency per operation, and the seed that makes
+// the whole sequence deterministic. The zero plan injects nothing.
+type DiskPlan struct {
+	// ReadErr is the probability in [0, 1] that a read fails before
+	// touching the file.
+	ReadErr float64
+	// WriteErr is the probability in [0, 1] that a write fails before
+	// any byte reaches disk.
+	WriteErr float64
+	// ChecksumErr is the probability in [0, 1] that a read's checksum
+	// verification is forced to fail, driving the corruption-quarantine
+	// path on an otherwise healthy entry.
+	ChecksumErr float64
+	// SlowIO is added to every disk operation, fault or not.
+	SlowIO time.Duration
+	// Seed drives the deterministic fault sequence (0 is a valid seed).
+	Seed int64
+}
+
+// ParseDiskPlan parses a comma-separated "key=value" spec, e.g.
+// "read=0.3,write=0.3,checksum=0.1,slow=2ms,seed=7". Unknown keys and
+// probabilities outside [0, 1] are errors.
+func ParseDiskPlan(s string) (DiskPlan, error) {
+	var p DiskPlan
+	if strings.TrimSpace(s) == "" {
+		return p, fmt.Errorf("faults: empty disk plan")
+	}
+	prob := func(key, val string) (float64, error) {
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 0 || f > 1 {
+			return 0, fmt.Errorf("faults: disk plan %s=%q: want a probability in [0, 1]", key, val)
+		}
+		return f, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return p, fmt.Errorf("faults: disk plan term %q: want key=value", part)
+		}
+		var err error
+		switch key {
+		case "read":
+			p.ReadErr, err = prob(key, val)
+		case "write":
+			p.WriteErr, err = prob(key, val)
+		case "checksum":
+			p.ChecksumErr, err = prob(key, val)
+		case "slow":
+			p.SlowIO, err = time.ParseDuration(val)
+			if err == nil && p.SlowIO < 0 {
+				err = fmt.Errorf("faults: disk plan slow=%q: want >= 0", val)
+			}
+		case "seed":
+			p.Seed, err = strconv.ParseInt(val, 10, 64)
+		default:
+			err = fmt.Errorf("faults: unknown disk plan key %q (want read, write, checksum, slow, or seed)", key)
+		}
+		if err != nil {
+			return p, err
+		}
+	}
+	return p, nil
+}
+
+// String renders the plan in the syntax accepted by ParseDiskPlan.
+func (p DiskPlan) String() string {
+	return fmt.Sprintf("read=%g,write=%g,checksum=%g,slow=%s,seed=%d",
+		p.ReadErr, p.WriteErr, p.ChecksumErr, p.SlowIO, p.Seed)
+}
+
+// DiskInjector fires storage faults according to a DiskPlan. A nil
+// injector never fires and adds no latency, so storage code can hold one
+// unconditionally. The fault sequence is a pure function of the plan's
+// seed and the order of operations; it is safe for concurrent use (under
+// concurrency the interleaving, and thus which operation draws which
+// fault, follows the scheduler — per-operation probabilities still
+// hold).
+type DiskInjector struct {
+	plan DiskPlan
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	reads    int
+	writes   int
+	checksum int
+}
+
+// NewDisk returns an injector for the plan.
+func NewDisk(plan DiskPlan) *DiskInjector {
+	return &DiskInjector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// fire draws one fault decision and applies the slow-IO latency.
+func (d *DiskInjector) fire(p float64, count *int) bool {
+	if d == nil {
+		return false
+	}
+	d.mu.Lock()
+	hit := p > 0 && d.rng.Float64() < p
+	if hit {
+		*count++
+	}
+	slow := d.plan.SlowIO
+	d.mu.Unlock()
+	if slow > 0 {
+		time.Sleep(slow)
+	}
+	return hit
+}
+
+// Read returns an injected error for a read of key, or nil.
+func (d *DiskInjector) Read(key string) error {
+	if d != nil && d.fire(d.plan.ReadErr, &d.reads) {
+		return fmt.Errorf("%w: read %s", ErrInjectedDisk, key)
+	}
+	return nil
+}
+
+// Write returns an injected error for a write of key, or nil.
+func (d *DiskInjector) Write(key string) error {
+	if d != nil && d.fire(d.plan.WriteErr, &d.writes) {
+		return fmt.Errorf("%w: write %s", ErrInjectedDisk, key)
+	}
+	return nil
+}
+
+// Checksum reports whether checksum verification for key should be
+// forced to fail.
+func (d *DiskInjector) Checksum(key string) bool {
+	return d != nil && d.fire(d.plan.ChecksumErr, &d.checksum)
+}
+
+// Counts reports how many read, write, and checksum faults have fired.
+func (d *DiskInjector) Counts() (reads, writes, checksums int) {
+	if d == nil {
+		return 0, 0, 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads, d.writes, d.checksum
+}

@@ -1,0 +1,88 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestParseDiskPlan checks the spec syntax round-trips and rejects
+// malformed terms.
+func TestParseDiskPlan(t *testing.T) {
+	p, err := ParseDiskPlan("read=0.25,write=1,checksum=0,slow=2ms,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DiskPlan{ReadErr: 0.25, WriteErr: 1, ChecksumErr: 0, SlowIO: 2 * time.Millisecond, Seed: 42}
+	if p != want {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	if rt, err := ParseDiskPlan(p.String()); err != nil || rt != p {
+		t.Fatalf("round trip: %+v (err %v), want %+v", rt, err, p)
+	}
+
+	for _, bad := range []string{
+		"", "read", "read=2", "write=-0.1", "slow=-1ms", "seed=x", "burn=1",
+	} {
+		if _, err := ParseDiskPlan(bad); err == nil {
+			t.Fatalf("ParseDiskPlan(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// TestDiskInjectorDeterminism checks two injectors with the same plan
+// fire the same faults in the same order.
+func TestDiskInjectorDeterminism(t *testing.T) {
+	plan := DiskPlan{ReadErr: 0.5, WriteErr: 0.5, ChecksumErr: 0.5, Seed: 7}
+	a, b := NewDisk(plan), NewDisk(plan)
+	for i := 0; i < 64; i++ {
+		ae, be := a.Read("k"), b.Read("k")
+		if (ae == nil) != (be == nil) {
+			t.Fatalf("read %d: injectors diverged", i)
+		}
+		if a.Checksum("k") != b.Checksum("k") {
+			t.Fatalf("checksum %d: injectors diverged", i)
+		}
+		ae, be = a.Write("k"), b.Write("k")
+		if (ae == nil) != (be == nil) {
+			t.Fatalf("write %d: injectors diverged", i)
+		}
+	}
+	ar, aw, ac := a.Counts()
+	br, bw, bc := b.Counts()
+	if ar != br || aw != bw || ac != bc {
+		t.Fatalf("counts diverged: %d/%d/%d vs %d/%d/%d", ar, aw, ac, br, bw, bc)
+	}
+	if ar == 0 || aw == 0 || ac == 0 {
+		t.Fatalf("p=0.5 over 64 draws fired %d/%d/%d faults, want all > 0", ar, aw, ac)
+	}
+}
+
+// TestDiskInjectorSentinelAndNil checks injected errors wrap the
+// sentinel and that a nil injector is inert.
+func TestDiskInjectorSentinelAndNil(t *testing.T) {
+	d := NewDisk(DiskPlan{ReadErr: 1, WriteErr: 1, ChecksumErr: 1})
+	if err := d.Read("k"); !errors.Is(err, ErrInjectedDisk) {
+		t.Fatalf("Read error %v does not wrap ErrInjectedDisk", err)
+	}
+	if err := d.Write("k"); !errors.Is(err, ErrInjectedDisk) {
+		t.Fatalf("Write error %v does not wrap ErrInjectedDisk", err)
+	}
+	if !d.Checksum("k") {
+		t.Fatal("ChecksumErr=1 did not fire")
+	}
+
+	var nilInj *DiskInjector
+	if err := nilInj.Read("k"); err != nil {
+		t.Fatalf("nil injector read = %v", err)
+	}
+	if err := nilInj.Write("k"); err != nil {
+		t.Fatalf("nil injector write = %v", err)
+	}
+	if nilInj.Checksum("k") {
+		t.Fatal("nil injector checksum fired")
+	}
+	if r, w, c := nilInj.Counts(); r+w+c != 0 {
+		t.Fatal("nil injector reported counts")
+	}
+}

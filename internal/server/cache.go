@@ -3,8 +3,10 @@ package server
 import (
 	"container/list"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"sync"
 )
 
@@ -22,6 +24,34 @@ type cachedOutcome struct {
 // size approximates the entry's memory footprint for the byte
 // accounting.
 func (c cachedOutcome) size() int { return len(c.outcome) + len(c.report) }
+
+// marshal frames the entry as the disk tier's payload: an 8-byte
+// big-endian outcome length, the outcome JSON, then the report text.
+// (The disk store adds its own checksummed header on top; this framing
+// only has to separate the two parts.)
+func (c cachedOutcome) marshal() []byte {
+	buf := make([]byte, 0, 8+c.size())
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(c.outcome)))
+	buf = append(buf, c.outcome...)
+	return append(buf, c.report...)
+}
+
+// unmarshalOutcome decodes a disk payload back into an entry. The disk
+// store has already checksum-verified the bytes; this only guards
+// against framing from a buggy writer.
+func unmarshalOutcome(b []byte) (cachedOutcome, error) {
+	if len(b) < 8 {
+		return cachedOutcome{}, fmt.Errorf("server: disk payload too short: %d bytes", len(b))
+	}
+	n := binary.BigEndian.Uint64(b[:8])
+	if n > uint64(len(b)-8) {
+		return cachedOutcome{}, fmt.Errorf("server: disk payload framing: outcome %d of %d bytes", n, len(b)-8)
+	}
+	return cachedOutcome{
+		outcome: append([]byte(nil), b[8:8+n]...),
+		report:  string(b[8+n:]),
+	}, nil
+}
 
 // cacheKey derives the content address of one promotion request: the
 // SHA-256 of the canonical JSON encoding of the resolved request

@@ -24,9 +24,16 @@ type metrics struct {
 	rejected     atomic.Int64 // 429 responses (queue full)
 	drained      atomic.Int64 // 503 responses while draining
 
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
-	cacheEvictions atomic.Int64
+	rateLimited atomic.Int64 // 429 responses (per-client token bucket exhausted)
+
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	cacheEvictions  atomic.Int64
+	collapsed       atomic.Int64 // requests served a singleflight leader's bytes
+	diskHits        atomic.Int64 // outcomes served from the on-disk cold tier
+	diskCorrupt     atomic.Int64 // disk entries that failed verification (quarantined)
+	diskReadErrors  atomic.Int64 // disk reads that failed for non-corruption reasons
+	diskWriteErrors atomic.Int64 // disk write-throughs that failed
 
 	queuedTotal   atomic.Int64 // requests that had to wait for a worker slot
 	queueWaitNS   atomic.Int64 // summed queue wait
@@ -77,10 +84,16 @@ func (m *metrics) writePrometheus(w io.Writer, s *Server) {
 	counter("rpserved_responses_server_error_total", "5xx responses", m.serverErrors.Load())
 	counter("rpserved_responses_timeout_total", "requests that hit the interpreter step or wall-clock bound", m.timeouts.Load())
 	counter("rpserved_rejected_total", "requests rejected because the admission queue was full", m.rejected.Load())
+	counter("rpserved_rate_limited_total", "requests rejected by the per-client rate limiter", m.rateLimited.Load())
 	counter("rpserved_drained_total", "requests rejected because the server was draining", m.drained.Load())
-	counter("rpserved_cache_hits_total", "promotion results served from the content-addressed cache", m.cacheHits.Load())
+	counter("rpserved_cache_hits_total", "promotion results served from the in-memory cache tier", m.cacheHits.Load())
 	counter("rpserved_cache_misses_total", "promotion requests that ran the pipeline", m.cacheMisses.Load())
 	counter("rpserved_cache_evictions_total", "cache entries evicted by the LRU bound", m.cacheEvictions.Load())
+	counter("rpserved_collapsed_total", "requests served a singleflight leader's result", m.collapsed.Load())
+	counter("rpserved_disk_hits_total", "promotion results served from the on-disk cache tier", m.diskHits.Load())
+	counter("rpserved_disk_corrupt_total", "disk cache entries that failed verification and were quarantined", m.diskCorrupt.Load())
+	counter("rpserved_disk_read_errors_total", "disk cache reads that failed (corruption excluded)", m.diskReadErrors.Load())
+	counter("rpserved_disk_write_errors_total", "disk cache write-throughs that failed", m.diskWriteErrors.Load())
 	counter("rpserved_queued_total", "requests that waited for a worker slot", m.queuedTotal.Load())
 	counter("rpserved_queue_wait_ms_total", "summed queue wait in milliseconds", m.queueWaitNS.Load()/int64(time.Millisecond))
 	counter("rpserved_pipeline_ms_total", "summed pipeline wall time in milliseconds (cache misses only)", m.pipelineNS.Load()/int64(time.Millisecond))
@@ -88,13 +101,26 @@ func (m *metrics) writePrometheus(w io.Writer, s *Server) {
 
 	gauge("rpserved_inflight_workers", "requests currently holding a worker slot", int64(s.adm.inUse()))
 	gauge("rpserved_queue_depth", "requests currently waiting for a worker slot", int64(s.adm.waiting()))
-	gauge("rpserved_cache_entries", "entries in the content-addressed result cache", int64(s.cache.Len()))
-	gauge("rpserved_cache_bytes", "approximate payload bytes held by the result cache", int64(s.cache.Bytes()))
+	gauge("rpserved_cache_entries", "entries in the in-memory result cache tier", int64(s.cache.Len()))
+	gauge("rpserved_cache_bytes", "approximate payload bytes held by the in-memory cache tier", int64(s.cache.Bytes()))
+	if s.disk != nil {
+		st := s.disk.Stats()
+		gauge("rpserved_disk_entries", "entries in the on-disk cache tier", int64(st.Entries))
+		gauge("rpserved_disk_bytes", "bytes held by the on-disk cache tier", st.Bytes)
+		gauge("rpserved_disk_quarantined", "disk entries quarantined since start", st.Quarantined)
+		gauge("rpserved_disk_gc_evicted", "disk entries evicted by GC since start", st.Evicted)
+	}
+	gauge("rpserved_rate_limit_clients", "clients with a live rate-limit bucket", int64(s.limiter.clients()))
 	draining := int64(0)
 	if s.isDraining() {
 		draining = 1
 	}
 	gauge("rpserved_draining", "1 while the server is draining", draining)
+	ready := int64(1)
+	if s.isDraining() || s.adm.saturated() {
+		ready = 0
+	}
+	gauge("rpserved_ready", "1 while the server would answer /readyz with 200", ready)
 	gauge("rpserved_uptime_seconds", "seconds since the server was created", int64(time.Since(s.start).Seconds()))
 
 	// Per-stage pipeline wall time, one labeled series per stage, in

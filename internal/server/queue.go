@@ -77,3 +77,14 @@ func (a *admission) inUse() int { return cap(a.workers) - len(a.workers) }
 
 // waiting reports how many requests are currently queued.
 func (a *admission) waiting() int { return cap(a.queue) - len(a.queue) }
+
+// saturated reports whether a new request would be rejected right now:
+// the waiting queue is at capacity (or, with no queue, every worker
+// slot is held). This is the readiness signal — an instant before the
+// 429s start.
+func (a *admission) saturated() bool {
+	if cap(a.queue) > 0 {
+		return len(a.queue) == 0
+	}
+	return len(a.workers) == 0
+}

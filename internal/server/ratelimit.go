@@ -1,0 +1,138 @@
+package server
+
+import (
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket sitting ahead of the
+// admission queue: a misbehaving client exhausts its own bucket and
+// collects 429s while every other client's latency holds. Clients are
+// identified by the X-Client-ID header when present (trusted fronting
+// proxies set it per tenant) and by remote host otherwise.
+//
+// Buckets refill continuously at rate tokens/second up to burst. The
+// client map is bounded: past maxClients the stalest bucket (the one
+// refilled longest ago, i.e. a full, idle bucket) is dropped — dropping
+// a full bucket momentarily forgives an idle client, never a hot one.
+type rateLimiter struct {
+	rate       float64 // tokens per second per client
+	burst      float64
+	maxClients int
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	rng     *rand.Rand // jitter for Retry-After hints
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter builds a limiter; rate <= 0 disables limiting and
+// returns nil (a nil limiter admits everything).
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = int(2 * rate)
+		if burst < 4 {
+			burst = 4
+		}
+	}
+	return &rateLimiter{
+		rate:       rate,
+		burst:      float64(burst),
+		maxClients: 10_000,
+		buckets:    make(map[string]*bucket),
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// allow takes one token from client's bucket. When the bucket is empty
+// it returns false and a jittered Retry-After hint: the base is the
+// time until one token accrues, plus up to 50% random spread so a
+// synchronized herd of limited clients does not return as a
+// synchronized herd of retries.
+func (l *rateLimiter) allow(client string, now time.Time) (bool, time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[client]
+	if !ok {
+		if len(l.buckets) >= l.maxClients {
+			l.evictStalest()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	wait += time.Duration(l.rng.Float64() * 0.5 * float64(wait))
+	return false, wait
+}
+
+// evictStalest drops the bucket refilled longest ago. Called with mu
+// held.
+func (l *rateLimiter) evictStalest() {
+	var stalest string
+	var oldest time.Time
+	for c, b := range l.buckets {
+		if stalest == "" || b.last.Before(oldest) {
+			stalest, oldest = c, b.last
+		}
+	}
+	if stalest != "" {
+		delete(l.buckets, stalest)
+	}
+}
+
+// clients reports how many buckets are live (metrics).
+func (l *rateLimiter) clients() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// clientKey identifies the requester for rate limiting.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up so the hint is never an invitation to retry early.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(d / time.Second)
+	if d%time.Second != 0 || secs == 0 {
+		secs++
+	}
+	return strconv.FormatInt(secs, 10)
+}

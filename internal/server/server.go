@@ -3,27 +3,41 @@
 // through the register promotion pipeline on a bounded worker pool, and
 // fronts the pipeline with a content-addressed result cache.
 //
-// The serving core is three layers:
+// The serving core is five layers, in admission order:
 //
+//   - Per-client rate limiting: a token bucket per client (X-Client-ID
+//     header, else remote host) ahead of everything else, so one
+//     misbehaving client collects 429s with jittered Retry-After hints
+//     while every other client's latency holds.
+//   - Content-addressed caching, two tiers: SHA-256 of (canonicalized
+//     source, resolved options) keys a size-bounded in-memory LRU (hot
+//     tier) over a durable on-disk store (internal/diskcache, cold
+//     tier). The pipeline is deterministic for identical inputs at any
+//     worker count, which is what makes serving a cached outcome sound;
+//     the disk tier's checksum-verify-or-quarantine contract is what
+//     makes serving one after a crash or corruption sound. A restarted
+//     replica re-opens its cache directory and comes back warm.
+//   - Singleflight collapsing: concurrent identical misses share one
+//     pipeline execution — the leader runs, waiters get the leader's
+//     bytes (or its error; a leader can never wedge its waiters). Hot
+//     keys cost one worker slot, not one per request.
 //   - Admission control: a fixed pool of worker slots plus a bounded
 //     waiting queue. A request beyond both bounds gets an immediate 429
 //     with Retry-After — explicit backpressure, never unbounded memory.
-//   - Content-addressed caching: SHA-256 of (canonicalized source,
-//     resolved options) keys a size-bounded LRU of outcome payloads.
-//     The pipeline is deterministic for identical inputs at any worker
-//     count, which is what makes serving a cached outcome sound.
 //   - Isolation and bounds: pipeline stages already run behind panic
 //     isolation (StageError); the server adds per-request interpreter
 //     step and wall-clock ceilings so one hostile program cannot stall
 //     a worker slot forever, and maps resource exhaustion to 408,
 //     malformed requests (typed pipeline.OptionError, parse failures)
-//     to 400, and internal stage failures to 500 with the structured
-//     StageError in the body.
+//     to 400 carrying the offending field name, and internal stage
+//     failures to 500 with the structured StageError in the body.
 //
-// Endpoints: POST /v1/promote, GET /healthz, GET /metrics
+// Endpoints: POST /v1/promote, GET /healthz, GET /readyz, GET /metrics
 // (Prometheus text). Drain stops admission, waits for in-flight
-// requests, and flips /healthz to 503 so load balancers rotate the
-// instance out.
+// requests, and flips /healthz and /readyz to 503 so load balancers
+// rotate the instance out; /readyz additionally reports not-ready while
+// the admission queue is saturated, the early signal to shed load
+// upstream.
 package server
 
 import (
@@ -37,6 +51,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/diskcache"
 	"repro/internal/faults"
 	"repro/internal/interp"
 	"repro/internal/pipeline"
@@ -68,6 +83,24 @@ type Config struct {
 	// EnableFaults allows requests to carry a fault-injection plan
 	// (tests and chaos drills only — never enable on a real deployment).
 	EnableFaults bool
+	// CacheDir, when non-empty, adds the durable on-disk cold tier under
+	// this directory: misses are written through, memory-tier misses
+	// check it before running the pipeline, and a restarted server
+	// re-opens it warm.
+	CacheDir string
+	// CacheDiskBytes bounds the disk tier (0 = 256 MiB, negative =
+	// unbounded). GC evicts least-recently-used entries in the
+	// background.
+	CacheDiskBytes int64
+	// RateLimit is the per-client steady admission rate in requests per
+	// second, applied ahead of the admission queue (0 = no limiting).
+	RateLimit float64
+	// RateBurst is the per-client token-bucket burst size
+	// (0 = max(4, 2×RateLimit)).
+	RateBurst int
+	// DiskChaos, when non-nil, injects deterministic disk faults into
+	// the cold tier (chaos drills only).
+	DiskChaos *faults.DiskInjector
 }
 
 // withDefaults resolves the zero values.
@@ -96,16 +129,22 @@ func (c Config) withDefaults() Config {
 	if c.PipelineWorkers <= 0 {
 		c.PipelineWorkers = 1
 	}
+	if c.CacheDiskBytes == 0 {
+		c.CacheDiskBytes = 256 << 20
+	}
 	return c
 }
 
 // Server is one promotion service instance.
 type Server struct {
-	cfg   Config
-	cache *lruCache
-	adm   *admission
-	m     *metrics
-	start time.Time
+	cfg     Config
+	cache   *lruCache
+	disk    *diskcache.Store // nil when CacheDir is empty
+	flights *flightGroup
+	limiter *rateLimiter // nil when RateLimit is 0
+	adm     *admission
+	m       *metrics
+	start   time.Time
 
 	// drainMu orders request admission against Drain: a request
 	// registers in wg only while draining is false, and Drain flips the
@@ -121,16 +160,33 @@ type Server struct {
 	testHook func()
 }
 
-// New builds a server from cfg.
-func New(cfg Config) *Server {
+// New builds a server from cfg. It fails only when the configured cache
+// directory cannot be opened — every other degraded dependency is a
+// runtime counter, but a server that silently lost its durability tier
+// would violate the warm-restart contract.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	return &Server{
-		cfg:   cfg,
-		cache: newLRUCache(cfg.CacheEntries),
-		adm:   newAdmission(cfg.Workers, cfg.QueueDepth),
-		m:     newMetrics(),
-		start: time.Now(),
+	s := &Server{
+		cfg:     cfg,
+		cache:   newLRUCache(cfg.CacheEntries),
+		flights: newFlightGroup(),
+		limiter: newRateLimiter(cfg.RateLimit, cfg.RateBurst),
+		adm:     newAdmission(cfg.Workers, cfg.QueueDepth),
+		m:       newMetrics(),
+		start:   time.Now(),
 	}
+	if cfg.CacheDir != "" {
+		maxBytes := cfg.CacheDiskBytes
+		if maxBytes < 0 {
+			maxBytes = 0 // diskcache treats <= 0 as unbounded
+		}
+		disk, err := diskcache.Open(cfg.CacheDir, maxBytes, cfg.DiskChaos)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = disk
+	}
+	return s, nil
 }
 
 // Handler returns the server's HTTP handler.
@@ -138,6 +194,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/promote", s.handlePromote)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -252,13 +309,17 @@ func (s *Server) resolve(ro RequestOptions) (resolvedOptions, pipeline.Options, 
 	var res resolvedOptions
 	var popts pipeline.Options
 
+	// Every rejection below is a typed *pipeline.OptionError so the 400
+	// body can name the offending field — a client fixing its request
+	// should never have to parse prose.
 	res.Algorithm = ro.Algorithm
 	if res.Algorithm == "" {
 		res.Algorithm = "ssa"
 	}
 	alg, err := pipeline.ParseAlgorithm(res.Algorithm)
 	if err != nil {
-		return res, popts, &badRequestError{err}
+		return res, popts, &badRequestError{&pipeline.OptionError{Field: "Algorithm", Value: ro.Algorithm,
+			Reason: "unknown algorithm (want ssa, baseline, memopt, or none)"}}
 	}
 	res.Check = ro.Check
 	if res.Check == "" {
@@ -266,17 +327,28 @@ func (s *Server) resolve(ro RequestOptions) (resolvedOptions, pipeline.Options, 
 	}
 	check, err := pipeline.ParseCheckLevel(res.Check)
 	if err != nil {
-		return res, popts, &badRequestError{err}
+		return res, popts, &badRequestError{&pipeline.OptionError{Field: "Check", Value: ro.Check,
+			Reason: "unknown check level (want off, boundaries, or paranoid)"}}
 	}
 	res.Workers = ro.Workers
 	if res.Workers == 0 {
 		res.Workers = s.cfg.PipelineWorkers
 	}
 	if res.Workers < 0 || res.Workers > 16 {
-		return res, popts, &badRequestError{fmt.Errorf("server: workers %d out of range [0, 16]", ro.Workers)}
+		return res, popts, &badRequestError{&pipeline.OptionError{Field: "Workers", Value: ro.Workers,
+			Reason: "out of range [0, 16] (0 = server default)"}}
 	}
-	if ro.MaxSteps < 0 || ro.TimeoutMS < 0 || ro.MaxPromotedWebs < 0 {
-		return res, popts, &badRequestError{fmt.Errorf("server: negative resource bound in options")}
+	if ro.MaxSteps < 0 {
+		return res, popts, &badRequestError{&pipeline.OptionError{Field: "Interp.MaxSteps", Value: ro.MaxSteps,
+			Reason: "must be >= 0 (0 = server ceiling)"}}
+	}
+	if ro.TimeoutMS < 0 {
+		return res, popts, &badRequestError{&pipeline.OptionError{Field: "Interp.Timeout", Value: ro.TimeoutMS,
+			Reason: "must be >= 0 (0 = server ceiling)"}}
+	}
+	if ro.MaxPromotedWebs < 0 {
+		return res, popts, &badRequestError{&pipeline.OptionError{Field: "MaxPromotedWebs", Value: ro.MaxPromotedWebs,
+			Reason: "must be >= 0 (0 = unlimited)"}}
 	}
 	res.MaxSteps = ro.MaxSteps
 	if res.MaxSteps == 0 || res.MaxSteps > s.cfg.MaxSteps {
@@ -312,11 +384,13 @@ func (s *Server) resolve(ro RequestOptions) (resolvedOptions, pipeline.Options, 
 	}
 	if ro.Fault != "" {
 		if !s.cfg.EnableFaults {
-			return res, popts, &badRequestError{fmt.Errorf("server: fault injection disabled (start with -enable-faults)")}
+			return res, popts, &badRequestError{&pipeline.OptionError{Field: "Fault", Value: ro.Fault,
+				Reason: "fault injection disabled (start the server with -enable-faults)"}}
 		}
 		plan, err := faults.ParsePlan(ro.Fault)
 		if err != nil {
-			return res, popts, &badRequestError{err}
+			return res, popts, &badRequestError{&pipeline.OptionError{Field: "Fault", Value: ro.Fault,
+				Reason: err.Error()}}
 		}
 		popts.Faults = faults.New(plan)
 	}
@@ -338,11 +412,15 @@ func (e *badRequestError) Unwrap() error { return e.err }
 // promotion response. Unlike the outcome, it legitimately differs
 // between identical requests (cache state, queue wait, timings).
 type ServingMeta struct {
-	SchemaVersion int              `json:"schema_version"`
-	Cache         string           `json:"cache"` // hit, miss, or bypass (caching off)
-	QueueWaitMS   float64          `json:"queue_wait_ms"`
-	PipelineMS    float64          `json:"pipeline_ms"` // 0 on cache hits
-	Stages        []report.StageMS `json:"stages,omitempty"`
+	SchemaVersion int `json:"schema_version"`
+	// Cache says how the outcome was produced: "hit" (memory tier),
+	// "disk" (cold tier, promoted to memory), "collapsed" (another
+	// request's in-flight computation, singleflight), "miss" (this
+	// request ran the pipeline), or "bypass" (caching off).
+	Cache       string           `json:"cache"`
+	QueueWaitMS float64          `json:"queue_wait_ms"`
+	PipelineMS  float64          `json:"pipeline_ms"` // 0 unless this request ran the pipeline
+	Stages      []report.StageMS `json:"stages,omitempty"`
 }
 
 // PromoteResponse is the JSON body of a successful promotion.
@@ -359,9 +437,12 @@ type PromoteResponse struct {
 // ErrorResponse is the JSON body of every non-200 response.
 type ErrorResponse struct {
 	Error string `json:"error"`
-	// Kind classifies the failure: bad_request, queue_full, draining,
-	// timeout, or stage_error.
+	// Kind classifies the failure: bad_request, rate_limited,
+	// queue_full, draining, timeout, or stage_error.
 	Kind string `json:"kind"`
+	// Field names the rejected Options field for kind=bad_request when
+	// the failure was a typed option validation error.
+	Field string `json:"field,omitempty"`
 	// Stage and Func identify the failing pipeline stage for
 	// kind=stage_error / kind=timeout.
 	Stage string `json:"stage,omitempty"`
@@ -382,6 +463,16 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.wg.Done()
+
+	// Rate limiting comes first: a limited client should not even cost
+	// the server a body read, let alone a cache lookup.
+	if ok, retry := s.limiter.allow(clientKey(r), time.Now()); !ok {
+		s.m.rateLimited.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(retry))
+		s.writeError(w, http.StatusTooManyRequests, ErrorResponse{
+			Error: "per-client rate limit exceeded", Kind: "rate_limited"})
+		return
+	}
 
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxSourceBytes+1))
 	if err != nil {
@@ -412,42 +503,86 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	resolved, popts, err := s.resolve(req.Options)
 	if err != nil {
 		s.m.clientErrors.Add(1)
-		s.writeError(w, http.StatusBadRequest, ErrorResponse{
-			Error: err.Error(), Kind: "bad_request"})
+		resp := ErrorResponse{Error: err.Error(), Kind: "bad_request"}
+		var oe *pipeline.OptionError
+		if errors.As(err, &oe) {
+			resp.Field = oe.Field
+		}
+		s.writeError(w, http.StatusBadRequest, resp)
 		return
 	}
 	s.m.requests.Add(1)
 
-	// Cache lookup before admission: a hit never needs a worker slot,
+	// Cache lookups before admission: a hit never needs a worker slot,
 	// so a hot cache keeps absorbing traffic even when the pool is
-	// saturated.
+	// saturated. Memory tier first, then disk; a disk hit is promoted
+	// into the memory tier on the way out.
 	key := cacheKey(req.Source, resolved)
 	if hit, ok := s.cache.Get(key); ok {
 		s.m.cacheHits.Add(1)
-		s.m.ok.Add(1)
-		s.writeJSON(w, http.StatusOK, PromoteResponse{
-			Outcome: json.RawMessage(hit.outcome),
-			Report:  hit.report,
-			Serving: ServingMeta{SchemaVersion: report.SchemaVersion, Cache: "hit"},
-		})
+		s.serveCached(w, hit, "hit")
+		return
+	}
+	if entry, ok := s.diskGet(key); ok {
+		if s.cfg.CacheEntries > 0 {
+			s.m.cacheEvictions.Add(int64(s.cache.Put(key, entry)))
+		}
+		s.serveCached(w, entry, "disk")
 		return
 	}
 
-	// Admission: take a worker slot or reject with backpressure.
+	// Singleflight: concurrent identical misses share one pipeline
+	// execution. Waiters block here — holding no worker slot — until
+	// the leader publishes its bytes or its error.
+	f, leader := s.flights.join(key)
+	if !leader {
+		select {
+		case <-f.done:
+			if f.err != nil {
+				s.writeFlightError(w, f.err)
+				return
+			}
+			s.m.collapsed.Add(1)
+			s.serveCached(w, f.entry, "collapsed")
+		case <-r.Context().Done():
+			s.m.clientErrors.Add(1)
+			s.writeError(w, http.StatusRequestTimeout, ErrorResponse{
+				Error: "canceled while waiting for shared result: " + r.Context().Err().Error(), Kind: "timeout"})
+		}
+		return
+	}
+
+	// Leader path. Whatever happens below — backpressure, pipeline
+	// failure, even a panic unwinding this handler — the flight must be
+	// completed exactly once, or waiters would hang forever.
+	var (
+		entry     cachedOutcome
+		runErr    error
+		published bool
+	)
+	publish := func() {
+		if !published {
+			published = true
+			s.flights.complete(key, f, entry, runErr)
+		}
+	}
+	defer func() {
+		if !published {
+			runErr = errLeaderAborted
+			publish()
+		}
+	}()
+
+	// Admission: take a worker slot or reject with backpressure. The
+	// leader's rejection propagates to its waiters — if the system is
+	// too loaded to run this key once, it is too loaded to run it at
+	// all.
 	waitStart := time.Now()
 	release, queued, err := s.adm.acquire(r.Context())
 	if err != nil {
-		if errors.Is(err, ErrQueueFull) {
-			s.m.rejected.Add(1)
-			w.Header().Set("Retry-After", "1")
-			s.writeError(w, http.StatusTooManyRequests, ErrorResponse{
-				Error: "admission queue full", Kind: "queue_full"})
-			return
-		}
-		// The client went away while queued.
-		s.m.clientErrors.Add(1)
-		s.writeError(w, http.StatusRequestTimeout, ErrorResponse{
-			Error: "canceled while queued: " + err.Error(), Kind: "timeout"})
+		runErr = err
+		publish()
+		s.writeFlightError(w, err)
 		return
 	}
 	defer release()
@@ -462,11 +597,13 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	}
 
 	pipeStart := time.Now()
-	out, runErr := pipeline.Run(req.Source, popts)
+	out, pipeErr := pipeline.Run(req.Source, popts)
 	pipeWall := time.Since(pipeStart)
 
-	if runErr != nil {
-		s.writeRunError(w, runErr)
+	if pipeErr != nil {
+		runErr = pipeErr
+		publish()
+		s.writeRunError(w, pipeErr)
 		return
 	}
 	s.m.pipelineNS.Add(int64(pipeWall))
@@ -475,18 +612,23 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 
 	outcomeJSON, err := json.Marshal(report.EncodeOutcome(out))
 	if err != nil {
+		runErr = fmt.Errorf("encoding outcome: %w", err)
+		publish()
 		s.m.serverErrors.Add(1)
 		s.writeError(w, http.StatusInternalServerError, ErrorResponse{
-			Error: "encoding outcome: " + err.Error(), Kind: "stage_error"})
+			Error: runErr.Error(), Kind: "stage_error"})
 		return
 	}
-	entry := cachedOutcome{outcome: outcomeJSON, report: out.Report()}
+	entry = cachedOutcome{outcome: outcomeJSON, report: out.Report()}
+	publish()
+
 	cacheState := "bypass"
 	if s.cfg.CacheEntries > 0 {
 		s.m.cacheMisses.Add(1)
 		s.m.cacheEvictions.Add(int64(s.cache.Put(key, entry)))
 		cacheState = "miss"
 	}
+	s.diskPut(key, entry)
 
 	s.m.ok.Add(1)
 	s.writeJSON(w, http.StatusOK, PromoteResponse{
@@ -500,6 +642,77 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 			Stages:        report.StageTimingsMS(report.SumStageTimings(out)),
 		},
 	})
+}
+
+// serveCached writes a 200 for an outcome that did not run the pipeline
+// in this request.
+func (s *Server) serveCached(w http.ResponseWriter, entry cachedOutcome, state string) {
+	s.m.ok.Add(1)
+	s.writeJSON(w, http.StatusOK, PromoteResponse{
+		Outcome: json.RawMessage(entry.outcome),
+		Report:  entry.report,
+		Serving: ServingMeta{SchemaVersion: report.SchemaVersion, Cache: state},
+	})
+}
+
+// diskGet consults the cold tier. Every failure — absence, corruption
+// (already quarantined by the store), injected or real IO errors —
+// degrades to a miss; the counters keep score.
+func (s *Server) diskGet(key string) (cachedOutcome, bool) {
+	if s.disk == nil {
+		return cachedOutcome{}, false
+	}
+	payload, err := s.disk.Get(key)
+	if err != nil {
+		switch {
+		case errors.Is(err, diskcache.ErrNotFound):
+		case errors.Is(err, diskcache.ErrCorrupt):
+			s.m.diskCorrupt.Add(1)
+		default:
+			s.m.diskReadErrors.Add(1)
+		}
+		return cachedOutcome{}, false
+	}
+	entry, err := unmarshalOutcome(payload)
+	if err != nil {
+		s.m.diskCorrupt.Add(1)
+		return cachedOutcome{}, false
+	}
+	s.m.diskHits.Add(1)
+	return entry, true
+}
+
+// diskPut writes an outcome through to the cold tier; a failed write
+// (injected or real) costs durability for this entry, never
+// correctness.
+func (s *Server) diskPut(key string, entry cachedOutcome) {
+	if s.disk == nil {
+		return
+	}
+	if err := s.disk.Put(key, entry.marshal()); err != nil {
+		s.m.diskWriteErrors.Add(1)
+	}
+}
+
+// writeFlightError maps an error shared through a flight — admission
+// rejection, queued-context cancellation, or a pipeline failure — to
+// its HTTP shape, for both the leader and every waiter.
+func (s *Server) writeFlightError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.m.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, ErrorResponse{
+			Error: "admission queue full", Kind: "queue_full"})
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The leader's client went away while queued; its waiters (if
+		// any) see the same retryable shape.
+		s.m.clientErrors.Add(1)
+		s.writeError(w, http.StatusRequestTimeout, ErrorResponse{
+			Error: "canceled while queued: " + err.Error(), Kind: "timeout"})
+	default:
+		s.writeRunError(w, err)
+	}
 }
 
 // writeRunError maps a pipeline failure to its HTTP shape: interpreter
@@ -537,6 +750,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":   status,
 		"uptime_s": int64(time.Since(s.start).Seconds()),
 	})
+}
+
+// handleReadyz serves GET /readyz: distinct from liveness, readiness
+// says "send me traffic". Not-ready (503) while draining — and, unlike
+// /healthz, while the admission queue is saturated, so an upstream
+// balancer stops routing here before requests start bouncing off the
+// 429 wall.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	reason := ""
+	switch {
+	case s.isDraining():
+		reason = "draining"
+	case s.adm.saturated():
+		reason = "admission queue saturated"
+	}
+	if reason != "" {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "not_ready", "reason": reason,
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
 // handleMetrics serves GET /metrics in Prometheus text format.

@@ -28,6 +28,16 @@ void main() {
 }
 `
 
+// newTestServer builds a server or fails the test.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func postPromote(t *testing.T, s *Server, req PromoteRequest) (*httptest.ResponseRecorder, PromoteResponse, ErrorResponse) {
 	t.Helper()
 	body, err := json.Marshal(req)
@@ -67,7 +77,7 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 // the content-addressed cache with a byte-identical outcome, and that
 // changing either the source or the options misses.
 func TestCacheHitVsMiss(t *testing.T) {
-	s := New(Config{Workers: 2})
+	s := newTestServer(t, Config{Workers: 2})
 	req := PromoteRequest{Source: smallSrc}
 
 	rec, first, _ := postPromote(t, s, req)
@@ -107,7 +117,7 @@ func TestCacheHitVsMiss(t *testing.T) {
 // is identical for per-request worker counts 1 and 2 (different cache
 // keys, so both actually run the pipeline).
 func TestOutcomeDeterministicAcrossWorkerCounts(t *testing.T) {
-	s := New(Config{Workers: 2})
+	s := newTestServer(t, Config{Workers: 2})
 	_, one, _ := postPromote(t, s, PromoteRequest{Source: smallSrc, Options: RequestOptions{Workers: 1}})
 	_, two, _ := postPromote(t, s, PromoteRequest{Source: smallSrc, Options: RequestOptions{Workers: 2}})
 	if one.Serving.Cache != "miss" || two.Serving.Cache != "miss" {
@@ -124,7 +134,7 @@ func TestOutcomeDeterministicAcrossWorkerCounts(t *testing.T) {
 // TestBadRequests checks malformed bodies and invalid options map to
 // 400s with the bad_request kind.
 func TestBadRequests(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := newTestServer(t, Config{Workers: 1})
 
 	rec := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/promote",
@@ -161,7 +171,7 @@ func TestBadRequests(t *testing.T) {
 // the one queue slot, and checks the next request is rejected with 429
 // and a Retry-After header instead of waiting.
 func TestBackpressureWhenQueueFull(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 1})
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 	block := make(chan struct{})
 	s.testHook = func() { <-block }
 
@@ -211,7 +221,7 @@ func TestBackpressureWhenQueueFull(t *testing.T) {
 // interpreter bounds maps to 408 with the timeout kind, for both the
 // wall-clock and the step bound.
 func TestRequestTimeout(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := newTestServer(t, Config{Workers: 1})
 
 	rec, _, fail := postPromote(t, s, PromoteRequest{Source: spinSrc,
 		Options: RequestOptions{TimeoutMS: 30}})
@@ -236,7 +246,7 @@ func TestRequestTimeout(t *testing.T) {
 // whole-program stage and checks the response is a 500 carrying the
 // structured StageError fields.
 func TestPanicInPipelineReturns500WithStageError(t *testing.T) {
-	s := New(Config{Workers: 1, EnableFaults: true})
+	s := newTestServer(t, Config{Workers: 1, EnableFaults: true})
 	rec, _, fail := postPromote(t, s, PromoteRequest{Source: smallSrc,
 		Options: RequestOptions{Fault: "compile:panic"}})
 	if rec.Code != http.StatusInternalServerError {
@@ -257,7 +267,7 @@ func TestPanicInPipelineReturns500WithStageError(t *testing.T) {
 // absorbed by the pipeline's rollback machinery: the request still
 // succeeds, with the function listed as degraded in the outcome.
 func TestPanicInPerFunctionStageDegrades(t *testing.T) {
-	s := New(Config{Workers: 1, EnableFaults: true})
+	s := newTestServer(t, Config{Workers: 1, EnableFaults: true})
 	rec, ok, _ := postPromote(t, s, PromoteRequest{Source: smallSrc,
 		Options: RequestOptions{Fault: "promote/main:panic"}})
 	if rec.Code != http.StatusOK {
@@ -280,7 +290,7 @@ func TestPanicInPerFunctionStageDegrades(t *testing.T) {
 // TestDrain checks draining flips /healthz to 503, rejects new promote
 // requests, and waits for in-flight requests to finish.
 func TestDrain(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := newTestServer(t, Config{Workers: 1})
 	block := make(chan struct{})
 	s.testHook = func() { <-block }
 
@@ -325,7 +335,7 @@ func TestDrain(t *testing.T) {
 
 // TestHealthzAndMetrics spot-checks the operational endpoints.
 func TestHealthzAndMetrics(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := newTestServer(t, Config{Workers: 1})
 	rec := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"status":"ok"`) {

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flight is one in-progress computation of a cache key. The leader
+// fills entry/err and closes done; waiters block on done and then read
+// the shared result. Fields other than done are written only before
+// done closes and read only after, so no further locking is needed.
+type flight struct {
+	done  chan struct{}
+	entry cachedOutcome
+	err   error
+}
+
+// flightGroup collapses concurrent identical cache misses into one
+// pipeline execution: the first request for a key becomes the leader
+// and actually runs; the rest wait for the leader's bytes. That turns a
+// thundering herd of identical requests — the hot-key failure mode —
+// into one worker slot and one pipeline run, with every caller served
+// the same (byte-identical, cacheable) outcome.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+	waiters map[string]int
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight), waiters: make(map[string]int)}
+}
+
+// join returns the flight for key and whether the caller is its leader.
+// A leader MUST eventually call complete (the handler does so via a
+// deferred guard, so even a panicking leader releases its waiters).
+func (g *flightGroup) join(key string) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[key]; ok {
+		g.waiters[key]++
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	return f, true
+}
+
+// complete publishes the leader's result, removes the flight so later
+// requests start fresh, and releases every waiter.
+func (g *flightGroup) complete(key string, f *flight, entry cachedOutcome, err error) {
+	g.mu.Lock()
+	delete(g.flights, key)
+	delete(g.waiters, key)
+	g.mu.Unlock()
+	f.entry = entry
+	f.err = err
+	close(f.done)
+}
+
+// waiting reports how many requests are currently waiting on key
+// (metrics and tests).
+func (g *flightGroup) waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waiters[key]
+}
+
+// errLeaderAborted is published to waiters when the leader's handler
+// unwound without a result (a panic outside the pipeline's own recover
+// barriers). Waiters map it to a 500; they are never left hanging.
+var errLeaderAborted = fmt.Errorf("server: singleflight leader aborted")
