@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 BATCH ?= 32
 JOBS ?= $(shell nproc 2>/dev/null || echo 4)
 
-.PHONY: build test vet race test-par fuzz-smoke bench-par bench-hot bench-smoke serve-smoke bench-serve chaos-smoke ci
+.PHONY: build test vet race test-par fuzz-smoke bench-par bench-hot bench-bytecode bench-smoke serve-smoke bench-serve chaos-smoke ci
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,12 @@ bench-hot:
 	cat BENCH_hotpath_after.json  >> BENCH_hotpath.json
 	printf '}\n' >> BENCH_hotpath.json
 	rm -f BENCH_hotpath_before.json BENCH_hotpath_after.json
+
+# Interpreter-path benchmark: the call-heavy program on the legacy,
+# fast, and bytecode paths, written as one comparison record. Compare
+# the speedup_vs_fastpath and allocs_per_run fields.
+bench-bytecode:
+	$(GO) run ./cmd/rpbench -interp-bench 300 -json BENCH_bytecode.json
 
 # One-iteration pass over every microbenchmark, as a compile-and-run
 # smoke test for CI (benchmark numbers from one iteration mean nothing;

@@ -42,6 +42,8 @@ func main() {
 		size       = flag.String("size", "medium", "batch mode: generated workload size: small, medium, or large")
 		jobs       = flag.Int("j", 1, "batch mode: shard corpus entries across N goroutines")
 		legacy     = flag.Bool("legacy", false, "batch mode: run the pre-optimization paths (no analysis cache, map-based interpreter) as the benchmark baseline")
+		bytecode   = flag.Bool("bytecode", false, "batch mode: run training and measurement interpretation on the compiled bytecode path")
+		interpN    = flag.Int("interp-bench", 0, "measure the three interpreter paths on the call-heavy program with N timed runs each, write -json, and exit")
 		timings    = flag.Bool("timings", false, "batch mode: print aggregated per-stage wall times")
 		jsonOut    = flag.String("json", "", "batch mode: write a machine-readable benchmark record to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -69,6 +71,14 @@ func main() {
 	}
 	defer finishProfiles()
 
+	if *interpN > 0 {
+		if err := runInterpBench(*interpN, *jsonOut); err != nil {
+			finishProfiles()
+			fatal(err)
+		}
+		return
+	}
+
 	checkLevel, err := pipeline.ParseCheckLevel(*check)
 	if err != nil {
 		fatal(err)
@@ -90,6 +100,7 @@ func main() {
 			Workers:   *workers,
 			Check:     checkLevel,
 			Legacy:    *legacy,
+			Bytecode:  *bytecode,
 			Timings:   *timings,
 			JSONPath:  *jsonOut,
 		}); err != nil {

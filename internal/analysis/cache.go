@@ -29,6 +29,14 @@ const (
 	KindDF        Kind = "df"
 	KindIntervals Kind = "intervals"
 	KindRPO       Kind = "rpo"
+	// KindCode tracks compiled interpreter bytecode. Unlike the CFG
+	// analyses, code also depends on instruction content, which can
+	// change at a fixed CFG version (SSA construction, promotion
+	// rewrites); the interpreter therefore revalidates entries with its
+	// own fingerprint and may legitimately rebuild at an unchanged
+	// version. Builds for this kind are once per (version, instruction
+	// stream), not once per version.
+	KindCode Kind = "code"
 )
 
 // Cache memoizes CFG analyses per function, keyed on the CFG version.
@@ -61,6 +69,13 @@ type entry struct {
 
 	rpoVersion uint64
 	rpo        []*ir.Block
+
+	// code holds compiled interpreter bytecode as an opaque value: the
+	// interpreter owns the format and the validity check (CFG version
+	// plus instruction fingerprint); the cache just stores, serves, and
+	// instruments it.
+	code      any
+	codeValid bool
 
 	builds map[Kind][]uint64
 }
@@ -165,6 +180,33 @@ func (c *Cache) PutIntervals(f *ir.Function, fo *cfg.Forest) {
 	defer e.mu.Unlock()
 	e.intervals = fo
 	e.ivVersion = f.CFGVersion()
+}
+
+// CompiledCode returns the cached interpreter bytecode for f, if any.
+// The caller (interp.Run) validates the unit against the function's
+// current CFG version and instruction fingerprint before executing it;
+// the cache itself makes no freshness promise. Implements
+// interp.CodeCache.
+func (c *Cache) CompiledCode(f *ir.Function) (any, bool) {
+	e := c.entryFor(f)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.codeValid {
+		return nil, false
+	}
+	return e.code, true
+}
+
+// PutCompiledCode stores freshly compiled interpreter bytecode for f
+// and logs the build at the current CFG version. Implements
+// interp.CodeCache.
+func (c *Cache) PutCompiledCode(f *ir.Function, code any) {
+	e := c.entryFor(f)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.code = code
+	e.codeValid = true
+	e.builds[KindCode] = append(e.builds[KindCode], f.CFGVersion())
 }
 
 // Invalidate drops every cached analysis of f. The pipeline calls it

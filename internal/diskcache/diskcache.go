@@ -23,6 +23,9 @@
 //   - Size is bounded: when the store exceeds its byte budget a
 //     background GC evicts entries least-recently-used first (read
 //     hits re-stamp the file mtime, so recency survives restarts too).
+//     Quarantined evidence counts against the same budget, is evicted
+//     before any live entry, and expires outright after a TTL — bad/
+//     is a holding pen, not a leak.
 //
 // A *faults.DiskInjector can be plugged in to drive the degraded paths
 // deterministically: injected read/write failures surface as errors
@@ -61,6 +64,12 @@ var magic = []byte{'R', 'P', 'D', 'C', FormatVersion}
 // headerSize is magic + 32-byte payload SHA-256 + 8-byte payload length.
 const headerSize = len("RPDC*") + sha256.Size + 8
 
+// quarantineTTL bounds how long quarantined evidence is kept. A bad
+// entry exists for the operator to inspect; after a week it is noise
+// occupying budget, and GC removes it even when the store is under
+// budget.
+const quarantineTTL = 7 * 24 * time.Hour
+
 var (
 	// ErrNotFound reports a key with no entry.
 	ErrNotFound = errors.New("diskcache: entry not found")
@@ -80,6 +89,7 @@ type Store struct {
 
 	mu        sync.Mutex
 	bytes     int64 // payload + header bytes of live entries (approximate under races, re-trued by GC)
+	badBytes  int64 // bytes held by quarantined entries in bad/ — counted against the budget
 	count     int
 	gcRunning bool
 	tmpSeq    atomic.Int64
@@ -121,6 +131,12 @@ func Open(root string, maxBytes int64, chaos *faults.DiskInjector) (*Store, erro
 	for _, e := range entries {
 		s.bytes += e.size
 		s.count++
+	}
+	// Quarantined evidence survives restarts; so must its accounting,
+	// or a replica that crashed with a full bad/ would leak that space
+	// past the budget forever.
+	for _, e := range s.walkBad() {
+		s.badBytes += e.size
 	}
 	return s, nil
 }
@@ -211,7 +227,7 @@ func (s *Store) Put(key string, payload []byte) error {
 	s.mu.Lock()
 	s.bytes += int64(len(data))
 	s.count++
-	over := s.maxBytes > 0 && s.bytes > s.maxBytes && !s.gcRunning
+	over := s.maxBytes > 0 && s.bytes+s.badBytes > s.maxBytes && !s.gcRunning
 	if over {
 		s.gcRunning = true
 	}
@@ -272,10 +288,13 @@ func decode(data []byte) ([]byte, error) {
 }
 
 // quarantine moves a failed entry into bad/ (preserving the evidence)
-// and drops it from the accounting. If the move itself fails the entry
-// is removed outright — a corrupt file must never be served twice.
+// and moves its bytes from the live accounting to the quarantine
+// accounting — the file still occupies disk, so it still counts
+// against the budget. If the move itself fails the entry is removed
+// outright — a corrupt file must never be served twice.
 func (s *Store) quarantine(key, path string, size int64) {
-	if err := os.Rename(path, filepath.Join(s.badDir, key)); err != nil {
+	kept := os.Rename(path, filepath.Join(s.badDir, key)) == nil
+	if !kept {
 		os.Remove(path)
 	}
 	s.quarantined.Add(1)
@@ -288,7 +307,17 @@ func (s *Store) quarantine(key, path string, size int64) {
 	if s.count < 0 {
 		s.count = 0
 	}
+	if kept {
+		s.badBytes += size
+	}
+	over := s.maxBytes > 0 && s.bytes+s.badBytes > s.maxBytes && !s.gcRunning
+	if over {
+		s.gcRunning = true
+	}
 	s.mu.Unlock()
+	if over {
+		go s.gc()
+	}
 }
 
 // entryInfo is one live entry seen by a directory walk.
@@ -328,8 +357,33 @@ func (s *Store) walk() ([]entryInfo, error) {
 	return out, nil
 }
 
-// gc evicts least-recently-used entries until the store fits its byte
-// budget, then re-trues the accounting from the walk it took anyway.
+// walkBad lists quarantined entries in bad/.
+func (s *Store) walkBad() []entryInfo {
+	var out []entryInfo
+	files, err := os.ReadDir(s.badDir)
+	if err != nil {
+		return nil
+	}
+	for _, f := range files {
+		info, err := f.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, entryInfo{
+			path:  filepath.Join(s.badDir, f.Name()),
+			size:  info.Size(),
+			mtime: info.ModTime(),
+		})
+	}
+	return out
+}
+
+// gc brings the store back under its byte budget and re-trues the
+// accounting from the walks it took anyway. Order of sacrifice:
+// expired quarantined evidence goes unconditionally, remaining
+// quarantined entries go oldest-first while over budget (evidence is
+// worth less than cache hits), and only then are live entries evicted
+// least-recently-used.
 func (s *Store) gc() {
 	defer func() {
 		s.mu.Lock()
@@ -340,24 +394,58 @@ func (s *Store) gc() {
 	if err != nil {
 		return
 	}
+	bad := s.walkBad()
+	sort.Slice(bad, func(i, j int) bool { return bad[i].mtime.Before(bad[j].mtime) })
+	var badTotal int64
+	for _, e := range bad {
+		badTotal += e.size
+	}
+	expiry := time.Now().Add(-quarantineTTL)
+	for i, e := range bad {
+		if !e.mtime.Before(expiry) {
+			bad = bad[i:]
+			break
+		}
+		if os.Remove(e.path) == nil {
+			badTotal -= e.size
+		}
+		if i == len(bad)-1 {
+			bad = nil
+		}
+	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
 	var total int64
 	for _, e := range entries {
 		total += e.size
 	}
-	live := len(entries)
-	for _, e := range entries {
-		if total <= s.maxBytes {
-			break
+	if s.maxBytes > 0 {
+		for _, e := range bad {
+			if total+badTotal <= s.maxBytes {
+				break
+			}
+			if os.Remove(e.path) == nil {
+				badTotal -= e.size
+			}
 		}
-		if os.Remove(e.path) == nil {
-			total -= e.size
-			live--
-			s.gcEvicted.Add(1)
+		for _, e := range entries {
+			if total+badTotal <= s.maxBytes {
+				break
+			}
+			if os.Remove(e.path) == nil {
+				total -= e.size
+				s.gcEvicted.Add(1)
+			}
+		}
+	}
+	live := 0
+	for _, e := range entries {
+		if _, err := os.Stat(e.path); err == nil {
+			live++
 		}
 	}
 	s.mu.Lock()
 	s.bytes = total
+	s.badBytes = badTotal
 	s.count = live
 	s.mu.Unlock()
 }
@@ -377,25 +465,27 @@ func (s *Store) GC() {
 
 // Stats is a point-in-time snapshot for metrics.
 type Stats struct {
-	Entries     int
-	Bytes       int64
-	Quarantined int64 // entries quarantined since Open
-	Evicted     int64 // entries evicted by GC since Open
-	ReadErrors  int64 // failed or injected reads since Open
-	WriteErrors int64 // failed or injected writes since Open
+	Entries         int
+	Bytes           int64
+	QuarantineBytes int64 // bytes currently held by quarantined entries in bad/
+	Quarantined     int64 // entries quarantined since Open
+	Evicted         int64 // entries evicted by GC since Open
+	ReadErrors      int64 // failed or injected reads since Open
+	WriteErrors     int64 // failed or injected writes since Open
 }
 
 // Stats returns current counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
-	count, bytes := s.count, s.bytes
+	count, bytes, badBytes := s.count, s.bytes, s.badBytes
 	s.mu.Unlock()
 	return Stats{
-		Entries:     count,
-		Bytes:       bytes,
-		Quarantined: s.quarantined.Load(),
-		Evicted:     s.gcEvicted.Load(),
-		ReadErrors:  s.readErrs.Load(),
-		WriteErrors: s.writeErrs.Load(),
+		Entries:         count,
+		Bytes:           bytes,
+		QuarantineBytes: badBytes,
+		Quarantined:     s.quarantined.Load(),
+		Evicted:         s.gcEvicted.Load(),
+		ReadErrors:      s.readErrs.Load(),
+		WriteErrors:     s.writeErrs.Load(),
 	}
 }

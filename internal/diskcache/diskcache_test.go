@@ -297,3 +297,112 @@ func TestConcurrentPutGet(t *testing.T) {
 		<-done
 	}
 }
+
+// TestQuarantineBudgetAndExpiry pins the full lifecycle of quarantined
+// evidence: its bytes count against the budget (and survive reopen),
+// GC sacrifices it before any live entry, and it expires on TTL even
+// when the store is under budget.
+func TestQuarantineBudgetAndExpiry(t *testing.T) {
+	root := t.TempDir()
+	payload := bytes.Repeat([]byte("q"), 100)
+	entrySize := int64(headerSize + len(payload))
+
+	// Quarantine three entries via injected checksum faults.
+	s := mustOpen(t, root, 0, faults.NewDisk(faults.DiskPlan{ChecksumErr: 1}))
+	for i := 0; i < 3; i++ {
+		if err := s.Put(key(i), payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get(key(i)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("entry %d: %v, want ErrCorrupt", i, err)
+		}
+	}
+	if st := s.Stats(); st.QuarantineBytes != 3*entrySize || st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("after quarantines: %+v, want %d quarantine bytes", st, 3*entrySize)
+	}
+
+	// A fresh Store over the same root rebuilds the accounting from
+	// bad/ — quarantined space must not become invisible on restart.
+	s = mustOpen(t, root, 0, nil)
+	if st := s.Stats(); st.QuarantineBytes != 3*entrySize {
+		t.Fatalf("after reopen: %+v, want %d quarantine bytes", st, 3*entrySize)
+	}
+
+	// Fill with live entries until live alone consumes the budget:
+	// GC must clear all quarantined files and evict zero live ones.
+	for i := 4; i < 8; i++ {
+		if err := s.Put(key(i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.maxBytes = 4 * entrySize
+	s.GC()
+	st := s.Stats()
+	if st.QuarantineBytes != 0 {
+		t.Fatalf("quarantined evidence survived budget pressure: %+v", st)
+	}
+	if st.Entries != 4 || st.Evicted != 0 {
+		t.Fatalf("live entries paid for quarantine: %+v, want 4 entries / 0 evicted", st)
+	}
+	if files, err := os.ReadDir(s.badDir); err != nil || len(files) != 0 {
+		t.Fatalf("bad/ not emptied: %d files, %v", len(files), err)
+	}
+
+	// TTL expiry fires even with no budget pressure at all.
+	s = mustOpen(t, t.TempDir(), 0, faults.NewDisk(faults.DiskPlan{ChecksumErr: 1}))
+	if err := s.Put(key(1), payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(key(1)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get = %v, want ErrCorrupt", err)
+	}
+	old := time.Now().Add(-quarantineTTL - time.Hour)
+	if err := os.Chtimes(filepath.Join(s.badDir, key(1)), old, old); err != nil {
+		t.Fatal(err)
+	}
+	s.GC()
+	if st := s.Stats(); st.QuarantineBytes != 0 {
+		t.Fatalf("expired quarantine entry still counted: %+v", st)
+	}
+	if files, _ := os.ReadDir(s.badDir); len(files) != 0 {
+		t.Fatalf("expired quarantine file survived GC")
+	}
+}
+
+// TestQuarantineTriggersGC checks that quarantining itself kicks the
+// background GC when the move pushes total usage over budget — the bug
+// this guards against let bad/ grow without bound because only Put
+// looked at the budget, and only at live bytes.
+func TestQuarantineTriggersGC(t *testing.T) {
+	payload := bytes.Repeat([]byte("g"), 200)
+	entrySize := int64(headerSize + len(payload))
+	s := mustOpen(t, t.TempDir(), 2*entrySize, faults.NewDisk(faults.DiskPlan{ChecksumErr: 1}))
+	for i := 0; i < 2; i++ {
+		if err := s.Put(key(i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Quarantining both entries leaves live == 0 but bad/ at budget;
+	// the third Put overflows and GC must claw back quarantine space.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Get(key(i)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("entry %d: %v, want ErrCorrupt", i, err)
+		}
+	}
+	s.chaos = nil
+	if err := s.Put(key(3), payload); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := s.Stats()
+		if st.Bytes+st.QuarantineBytes <= s.maxBytes && !s.gcBusy() {
+			if _, err := s.Get(key(3)); err != nil {
+				t.Fatalf("live entry sacrificed before quarantine space: %v", err)
+			}
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("store never shrank below budget: %+v", s.Stats())
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/alias"
+	"repro/internal/analysis"
 	"repro/internal/ir"
 	"repro/internal/source"
 )
@@ -62,3 +63,10 @@ func benchRun(b *testing.B, opts Options) {
 
 func BenchmarkInterpCallHeavy(b *testing.B)       { benchRun(b, Options{}) }
 func BenchmarkInterpCallHeavyLegacy(b *testing.B) { benchRun(b, Options{Legacy: true}) }
+
+// The bytecode benchmark shares one external code cache across
+// iterations, the deployment shape: compilation is paid once, every
+// run after that is pure dispatch.
+func BenchmarkInterpCallHeavyBytecode(b *testing.B) {
+	benchRun(b, Options{Bytecode: true, Code: analysis.New()})
+}

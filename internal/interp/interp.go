@@ -69,8 +69,31 @@ type Options struct {
 	// per instruction for opcode counts, and fresh register/slot
 	// allocations per call. Results are identical to the default fast
 	// path; the benchmark harness (rpbench -legacy) uses it as the
-	// before side of the hot-path comparison.
+	// before side of the hot-path comparison. Legacy wins over Bytecode
+	// when both are set.
 	Legacy bool
+	// Bytecode selects the compiled execution path: each function is
+	// flattened once into linear bytecode (fused opcode pairs, pooled
+	// constants, precompiled addressing) and runs on a dense dispatch
+	// loop over arena-allocated frames. Results are identical to the
+	// other two paths.
+	Bytecode bool
+	// Code optionally supplies a cross-run cache for compiled bytecode
+	// (internal/analysis.Cache implements it). Entries are revalidated
+	// against the function's CFG version and an instruction-stream
+	// fingerprint on every run, so stale code is recompiled, never
+	// executed. Nil means each run compiles privately.
+	Code CodeCache
+}
+
+// CodeCache stores compiled bytecode across runs, keyed per function.
+// The stored value is opaque to implementors; interp validates it
+// before use and republishes after recompiling.
+type CodeCache interface {
+	// CompiledCode returns the cached unit for f, if any.
+	CompiledCode(f *ir.Function) (any, bool)
+	// PutCompiledCode stores the unit just compiled for f.
+	PutCompiledCode(f *ir.Function, code any)
 }
 
 // Result is the outcome of a run.
@@ -123,11 +146,18 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 	if opts.Timeout > 0 {
 		m.deadline = time.Now().Add(opts.Timeout)
 	}
+	bytecode := opts.Bytecode && !opts.Legacy
 	if opts.CollectProfile {
 		m.result.Profile = profile.NewProfile()
 		if !opts.Legacy {
 			m.counters = make(map[*ir.Function]*funcCounters)
 		}
+	}
+	if bytecode && m.counters == nil {
+		// The bytecode path reconstructs opcode counts from per-block
+		// execution counters, so they are maintained even without
+		// profile collection.
+		m.counters = make(map[*ir.Function]*funcCounters)
 	}
 	if !opts.Legacy {
 		m.opCounts = make([]int64, ir.NumOps)
@@ -135,9 +165,19 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 	m.layoutGlobals()
 
 	args := make([]int64, len(main.Params))
-	ret, err := m.call(main, args, 0)
+	var ret int64
+	var err error
+	if bytecode {
+		m.codes = make([]mcodeEntry, 0, len(prog.Funcs))
+		ret, err = m.callBC(main, args, 0)
+	} else {
+		ret, err = m.call(main, args, 0)
+	}
 	if err != nil {
 		return nil, err
+	}
+	if bytecode {
+		m.flushBytecode()
 	}
 	if !opts.Legacy {
 		m.flushCounts()
@@ -172,6 +212,13 @@ type machine struct {
 	counters map[*ir.Function]*funcCounters
 	regPool  [][]int64
 	argStack []int64
+
+	// Bytecode-path state: this run's compiled-code table and the
+	// register-frame arena (frames are stack-disciplined slices of
+	// regArena; see execBC).
+	codes    []mcodeEntry
+	regArena []int64
+	regTop   int
 }
 
 // funcCounters holds one function's dense profile counters: executions
@@ -271,16 +318,20 @@ func (m *machine) flushCounts() {
 	}
 }
 
+// maxPooledFrames bounds the register-frame pool. The pool's high-water
+// mark tracks the deepest call chain of the run; without a cap a single
+// deep recursion leaves thousands of frames pinned for the rest of the
+// run.
+const maxPooledFrames = 64
+
 // acquireRegs returns a zeroed register frame of length n, reusing a
-// pooled one when available.
+// pooled one when available. An under-capacity frame at the top of the
+// pool stays pooled (it can still serve a later, smaller activation)
+// instead of being popped and lost to the allocator.
 func (m *machine) acquireRegs(n int) []int64 {
-	if k := len(m.regPool); k > 0 {
-		s := m.regPool[k-1]
+	if k := len(m.regPool); k > 0 && cap(m.regPool[k-1]) >= n {
+		s := m.regPool[k-1][:n]
 		m.regPool = m.regPool[:k-1]
-		if cap(s) < n {
-			return make([]int64, n)
-		}
-		s = s[:n]
 		for i := range s {
 			s[i] = 0
 		}
@@ -289,8 +340,18 @@ func (m *machine) acquireRegs(n int) []int64 {
 	return make([]int64, n)
 }
 
+// releaseRegs returns a frame to the pool, dropping it once the pool is
+// full. A frame larger than the pooled top replaces it (keeping the
+// biggest backing arrays raises the acquire hit rate under mixed frame
+// sizes).
 func (m *machine) releaseRegs(s []int64) {
-	m.regPool = append(m.regPool, s)
+	if len(m.regPool) < maxPooledFrames {
+		m.regPool = append(m.regPool, s)
+		return
+	}
+	if k := len(m.regPool); cap(m.regPool[k-1]) < cap(s) {
+		m.regPool[k-1] = s
+	}
 }
 
 // addrOf resolves a memory location to an arena address. Exactly one of

@@ -1,0 +1,83 @@
+package interp
+
+import "testing"
+
+// TestRegPoolBounded regresses the unbounded-growth bug: releasing far
+// more frames than the cap (the shape a deep recursion produces as it
+// unwinds) must leave at most maxPooledFrames pinned.
+func TestRegPoolBounded(t *testing.T) {
+	m := &machine{}
+	for i := 0; i < maxPooledFrames*4; i++ {
+		m.releaseRegs(make([]int64, 16))
+	}
+	if len(m.regPool) > maxPooledFrames {
+		t.Fatalf("pool grew to %d frames, cap is %d", len(m.regPool), maxPooledFrames)
+	}
+}
+
+// TestRegPoolKeepsUndersizedFrame regresses the silent-discard bug: an
+// acquire too big for the pooled top used to pop and drop that frame,
+// bleeding the pool empty under mixed frame sizes. The top must stay
+// put and still serve a later, smaller activation.
+func TestRegPoolKeepsUndersizedFrame(t *testing.T) {
+	m := &machine{}
+	small := make([]int64, 4)
+	m.releaseRegs(small)
+
+	big := m.acquireRegs(64)
+	if len(m.regPool) != 1 {
+		t.Fatalf("undersized frame discarded by a large acquire: pool len %d, want 1", len(m.regPool))
+	}
+	if &big[0] == &small[0] {
+		t.Fatal("acquire handed out an under-capacity frame")
+	}
+
+	got := m.acquireRegs(4)
+	if &got[0] != &small[0] {
+		t.Fatal("pooled frame not reused for a fitting acquire")
+	}
+	if len(m.regPool) != 0 {
+		t.Fatalf("pool len %d after reuse, want 0", len(m.regPool))
+	}
+}
+
+// TestRegPoolFullPrefersBiggerFrames checks the eviction choice when
+// the pool is at capacity: a bigger frame replaces the top (raising the
+// future hit rate), a smaller one is dropped.
+func TestRegPoolFullPrefersBiggerFrames(t *testing.T) {
+	m := &machine{}
+	for i := 0; i < maxPooledFrames; i++ {
+		m.releaseRegs(make([]int64, 8))
+	}
+	m.releaseRegs(make([]int64, 128))
+	if len(m.regPool) != maxPooledFrames {
+		t.Fatalf("pool len %d, want %d", len(m.regPool), maxPooledFrames)
+	}
+	if top := m.regPool[len(m.regPool)-1]; cap(top) != 128 {
+		t.Fatalf("full pool kept cap-%d top over a cap-128 release", cap(top))
+	}
+	m.releaseRegs(make([]int64, 2))
+	if top := m.regPool[len(m.regPool)-1]; cap(top) != 128 {
+		t.Fatalf("full pool replaced its cap-128 top with cap-%d", cap(top))
+	}
+}
+
+// TestRegPoolSteadyStateAllocs holds the pool to zero allocations in
+// steady state: a hot call loop that acquires and releases same-shaped
+// frames must run entirely off pooled memory.
+func TestRegPoolSteadyStateAllocs(t *testing.T) {
+	m := &machine{}
+	// Warm: one frame of each size in the pool.
+	for _, n := range []int{8, 16, 32} {
+		m.releaseRegs(make([]int64, n))
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		a := m.acquireRegs(8)
+		b := m.acquireRegs(8)
+		m.releaseRegs(b)
+		m.releaseRegs(a)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state acquire/release allocates %.1f per run, want 0", avg)
+	}
+}

@@ -205,6 +205,19 @@ type runner struct {
 	cache *analysis.Cache
 }
 
+// interpOptions returns the run's interpreter options with the
+// cross-stage code cache threaded in: when the bytecode path is on and
+// the run has an analysis cache, compiled functions are shared across
+// the training, measurement, differential, and bisect runs (the cache
+// revalidates per run, so stage-boundary rewrites recompile safely).
+func (r *runner) interpOptions() interp.Options {
+	popts := r.opts.Interp
+	if popts.Bytecode && popts.Code == nil && r.cache != nil {
+		popts.Code = r.cache
+	}
+	return popts
+}
+
 // domOf returns f's dominator tree: memoized when the cache is on,
 // freshly built otherwise.
 func (r *runner) domOf(f *ir.Function) *cfg.DomTree {
@@ -379,7 +392,7 @@ func (r *runner) trainProfile(before *ir.Program, forests map[string]*cfg.Forest
 					return fmt.Errorf("training source lacks function %s", f.Name)
 				}
 			}
-			popts := r.opts.Interp
+			popts := r.interpOptions()
 			popts.CollectProfile = true
 			res, err := interp.Run(train, popts)
 			if err != nil {
@@ -387,7 +400,7 @@ func (r *runner) trainProfile(before *ir.Program, forests map[string]*cfg.Forest
 			}
 			prof = res.Profile
 		default:
-			popts := r.opts.Interp
+			popts := r.interpOptions()
 			popts.CollectProfile = true
 			res, err := interp.Run(before, popts)
 			if err != nil {
@@ -404,7 +417,7 @@ func (r *runner) trainProfile(before *ir.Program, forests map[string]*cfg.Forest
 func (r *runner) measure(stage string, prog *ir.Program) (*interp.Result, error) {
 	var res *interp.Result
 	err := r.runStage(stage, "", nil, func() error {
-		rr, err := interp.Run(prog, r.opts.Interp)
+		rr, err := interp.Run(prog, r.interpOptions())
 		res = rr
 		return err
 	})
@@ -618,7 +631,7 @@ func (r *runner) differential(before, after *ir.Program) error {
 	return r.runStage(StageDifferential, "", func() string { return after.String() }, func() error {
 		resB := r.out.Before
 		if resB == nil {
-			rb, err := interp.Run(before, r.opts.Interp)
+			rb, err := interp.Run(before, r.interpOptions())
 			if err != nil {
 				return fmt.Errorf("baseline run: %w", err)
 			}
@@ -626,7 +639,7 @@ func (r *runner) differential(before, after *ir.Program) error {
 		}
 		resA := r.out.After
 		if resA == nil {
-			ra, err := interp.Run(after, r.opts.Interp)
+			ra, err := interp.Run(after, r.interpOptions())
 			if err != nil {
 				if r.bisect(after, resB) {
 					return nil
@@ -676,7 +689,7 @@ func (r *runner) bisect(after *ir.Program, want *interp.Result) bool {
 			continue
 		}
 		after.ReplaceFunction(snap)
-		res, err := interp.Run(after, r.opts.Interp)
+		res, err := interp.Run(after, r.interpOptions())
 		if err == nil && compareResults(want, res) == "" {
 			delete(r.out.Stats, f.Name)
 			r.recordDegradation(f.Name, StageDifferential, fmt.Errorf(

@@ -107,6 +107,7 @@ func (m *metrics) writePrometheus(w io.Writer, s *Server) {
 		st := s.disk.Stats()
 		gauge("rpserved_disk_entries", "entries in the on-disk cache tier", int64(st.Entries))
 		gauge("rpserved_disk_bytes", "bytes held by the on-disk cache tier", st.Bytes)
+		gauge("rpserved_disk_quarantine_bytes", "bytes held by quarantined disk entries", st.QuarantineBytes)
 		gauge("rpserved_disk_quarantined", "disk entries quarantined since start", st.Quarantined)
 		gauge("rpserved_disk_gc_evicted", "disk entries evicted by GC since start", st.Evicted)
 	}

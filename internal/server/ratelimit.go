@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -91,14 +92,27 @@ func (l *rateLimiter) allow(client string, now time.Time) (bool, time.Duration) 
 	return false, wait
 }
 
-// evictStalest drops the bucket refilled longest ago. Called with mu
-// held.
+// evictSample bounds how many buckets evictStalest inspects. A full
+// scan is O(maxClients) with the lock held, paid by every new client
+// once the map is full — under key churn that turns admission into a
+// quadratic stall. A small sample (map iteration starts at a random
+// bucket, so repeated calls see different slices of the map) finds an
+// old-enough victim with high probability at constant cost.
+const evictSample = 32
+
+// evictStalest drops the bucket refilled longest ago among a bounded
+// random sample. Called with mu held.
 func (l *rateLimiter) evictStalest() {
 	var stalest string
 	var oldest time.Time
+	n := 0
 	for c, b := range l.buckets {
-		if stalest == "" || b.last.Before(oldest) {
+		if n == 0 || b.last.Before(oldest) {
 			stalest, oldest = c, b.last
+		}
+		n++
+		if n >= evictSample {
+			break
 		}
 	}
 	if stalest != "" {
@@ -124,7 +138,27 @@ func clientKey(r *http.Request) string {
 	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
 		return host
 	}
-	return r.RemoteAddr
+	return stripPort(r.RemoteAddr)
+}
+
+// stripPort removes one trailing ":<digits>" suffix from an address
+// net.SplitHostPort could not parse (an unbracketed IPv6 address with
+// a port, say). Without it the raw address — ephemeral port included —
+// became the bucket key, handing every new connection a fresh bucket
+// and making the limit trivially avoidable by reconnecting. The
+// stripped form is stable per host, which is what bucketing needs;
+// exact host parsing is not required.
+func stripPort(addr string) string {
+	i := strings.LastIndexByte(addr, ':')
+	if i <= 0 || i == len(addr)-1 {
+		return addr
+	}
+	for _, ch := range addr[i+1:] {
+		if ch < '0' || ch > '9' {
+			return addr
+		}
+	}
+	return addr[:i]
 }
 
 // retryAfterSeconds renders a Retry-After header value: whole seconds,

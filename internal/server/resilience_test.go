@@ -478,3 +478,65 @@ func TestChaosDiskFaultsNeverFailRequests(t *testing.T) {
 		t.Fatalf("serverErrors = %d under disk chaos, want 0", s.m.serverErrors.Load())
 	}
 }
+
+// TestClientKeyStableWithoutPort checks the rate-limit key is stable
+// across connections for every RemoteAddr shape. The regression: an
+// address net.SplitHostPort cannot parse (unbracketed IPv6 with a
+// port) used to key on the raw address, ephemeral port included, so
+// each reconnect got a fresh bucket and the limit never bound.
+func TestClientKeyStableWithoutPort(t *testing.T) {
+	keyFor := func(remote string) string {
+		r := httptest.NewRequest(http.MethodPost, "/v1/promote", nil)
+		r.RemoteAddr = remote
+		return clientKey(r)
+	}
+	if a, b := keyFor("::1:40001"), keyFor("::1:40002"); a != b {
+		t.Fatalf("unbracketed IPv6 keys differ across ports: %q vs %q", a, b)
+	}
+	if a, b := keyFor("10.1.2.3:40001"), keyFor("10.1.2.3:40002"); a != b || a != "10.1.2.3" {
+		t.Fatalf("IPv4 keys %q, %q, want both 10.1.2.3", a, b)
+	}
+	if got := keyFor("[::1]:40001"); got != "::1" {
+		t.Fatalf("bracketed IPv6 key %q, want ::1", got)
+	}
+	// No port at all: the address itself is the stable key.
+	if got := keyFor("unix-socket"); got != "unix-socket" {
+		t.Fatalf("portless key %q, want unchanged", got)
+	}
+	// The header, when present, wins over any address.
+	r := httptest.NewRequest(http.MethodPost, "/v1/promote", nil)
+	r.RemoteAddr = "10.1.2.3:40001"
+	r.Header.Set("X-Client-ID", "tenant-7")
+	if got := clientKey(r); got != "tenant-7" {
+		t.Fatalf("header key %q, want tenant-7", got)
+	}
+}
+
+// TestRateLimitEvictionBounded fills the client map past its cap and
+// checks admission stays bounded: the map never exceeds maxClients,
+// and eviction inspects a fixed-size sample rather than scanning every
+// bucket (the old full scan made each new client O(maxClients) with
+// the lock held).
+func TestRateLimitEvictionBounded(t *testing.T) {
+	l := newRateLimiter(1, 1)
+	l.maxClients = 100
+	now := time.Now()
+	// An old cohort that eviction should prefer once sampled.
+	for i := 0; i < l.maxClients; i++ {
+		l.allow("old-"+strconv.Itoa(i), now)
+	}
+	for i := 0; i < 500; i++ {
+		l.allow("new-"+strconv.Itoa(i), now.Add(time.Hour))
+	}
+	if got := l.clients(); got > l.maxClients {
+		t.Fatalf("clients = %d, want <= %d", got, l.maxClients)
+	}
+	// Churn far past the cap: with the full scan this loop is
+	// quadratic in maxClients; with sampling it stays flat.
+	for i := 0; i < 5_000; i++ {
+		l.allow("churn-"+strconv.Itoa(i), now.Add(2*time.Hour))
+	}
+	if got := l.clients(); got > l.maxClients {
+		t.Fatalf("after churn: clients = %d, want <= %d", got, l.maxClients)
+	}
+}
