@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 BATCH ?= 32
 JOBS ?= $(shell nproc 2>/dev/null || echo 4)
 
-.PHONY: build test vet race test-par fuzz-smoke bench-par bench-hot bench-bytecode bench-smoke serve-smoke bench-serve chaos-smoke ci
+.PHONY: build test vet race test-par lint fuzz-smoke bench-par bench-hot bench-bytecode bench-smoke bench-pressure pressure-smoke serve-smoke bench-serve chaos-smoke ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,11 @@ race:
 # under the race detector — the worker pool's acceptance gate.
 test-par:
 	$(GO) test -race -run 'Parallel|Corpus|DeriveSeed|Timings' ./internal/pipeline/... ./internal/workload/...
+
+# Repo determinism lint: no wall-clock or unseeded randomness in the
+# deterministic packages (internal/lint documents the rules).
+lint:
+	$(GO) run ./cmd/rplint -root .
 
 # Short fuzzing pass over every native fuzz target. Each target runs
 # for $(FUZZTIME) (default 10s) on top of its seed corpus.
@@ -60,6 +65,17 @@ bench-bytecode:
 # the point is that the benchmarks keep working).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/cfg/ ./internal/ssa/ ./internal/interp/
+
+# Pressure benchmark: the Table-3-style register-pressure record —
+# baseline vs uncapped vs capped colors per routine, with the emitted
+# IR re-colored as verification that no function exceeds
+# max(cap, baseline).
+bench-pressure:
+	$(GO) run ./cmd/rpbench -pressure-bench -pressure-cap 8 -pressure-gen 8 -json BENCH_pressure.json
+
+# CI smoke for the pressure path: suite only, no JSON artifact.
+pressure-smoke:
+	$(GO) run ./cmd/rpbench -pressure-bench -pressure-cap 8 -pressure-gen 0
 
 # Serving smoke test: start rpserved on an ephemeral port, replay a
 # small deterministic mix through rploadgen (which exits non-zero on
@@ -105,4 +121,4 @@ bench-serve:
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
 
-ci: vet race test-par bench-smoke fuzz-smoke serve-smoke chaos-smoke
+ci: vet lint race test-par bench-smoke pressure-smoke fuzz-smoke serve-smoke chaos-smoke

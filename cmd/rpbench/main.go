@@ -15,6 +15,12 @@
 //	rpbench -batch 24 -j 8             # suite + 24 generated, 8 shards
 //	rpbench -batch 24 -j 1 -json a.json && rpbench -batch 24 -j 8 -json b.json
 //	rpbench -workers 4                 # per-program transform workers
+//
+// Pressure mode runs the suite (plus -pressure-gen generated programs)
+// under pressure-aware promotion and reports the Table-3-style color
+// counts against the no-cap baseline:
+//
+//	rpbench -pressure-bench -pressure-cap 8 -pressure-gen 8 -json BENCH_pressure.json
 package main
 
 import (
@@ -44,6 +50,9 @@ func main() {
 		legacy     = flag.Bool("legacy", false, "batch mode: run the pre-optimization paths (no analysis cache, map-based interpreter) as the benchmark baseline")
 		bytecode   = flag.Bool("bytecode", false, "batch mode: run training and measurement interpretation on the compiled bytecode path")
 		interpN    = flag.Int("interp-bench", 0, "measure the three interpreter paths on the call-heavy program with N timed runs each, write -json, and exit")
+		presBench  = flag.Bool("pressure-bench", false, "run the pressure-aware promotion table over the suite plus -pressure-gen programs, write -json, and exit")
+		presCap    = flag.Int("pressure-cap", 8, "pressure mode: register-pressure color cap")
+		presGen    = flag.Int("pressure-gen", 0, "pressure mode: generated stress programs to add to the suite (uses -seed and -size)")
 		timings    = flag.Bool("timings", false, "batch mode: print aggregated per-stage wall times")
 		jsonOut    = flag.String("json", "", "batch mode: write a machine-readable benchmark record to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -89,6 +98,21 @@ func main() {
 		Check:              checkLevel,
 		FailFast:           *failFast,
 		Workers:            *workers,
+	}
+
+	if *presBench {
+		if err := runPressureBench(pressureConfig{
+			Cap:       *presCap,
+			Generated: *presGen,
+			Seed:      *seed,
+			Size:      *size,
+			Opts:      opts,
+			JSONPath:  *jsonOut,
+		}); err != nil {
+			finishProfiles()
+			fatal(err)
+		}
+		return
 	}
 
 	if *batch >= 0 {

@@ -1,0 +1,41 @@
+// Command rplint runs the repo's determinism lint (internal/lint) over
+// the packages held to the no-wall-clock / no-global-rand contract and
+// exits non-zero if any issue is found. `make lint` (part of `make ci`)
+// is the canonical invocation.
+//
+// Usage:
+//
+//	rplint                     # lint lint.DefaultPackages under -root
+//	rplint -root /path/to/repo
+//	rplint internal/core       # lint specific package dirs instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root the package paths are relative to")
+	flag.Parse()
+
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = lint.DefaultPackages
+	}
+	issues, err := lint.CheckPackages(*root, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rplint:", err)
+		os.Exit(2)
+	}
+	for _, is := range issues {
+		fmt.Println(is)
+	}
+	if len(issues) > 0 {
+		fmt.Fprintf(os.Stderr, "rplint: %d issue(s)\n", len(issues))
+		os.Exit(1)
+	}
+}

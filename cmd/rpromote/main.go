@@ -9,6 +9,7 @@
 //	rpromote -file prog.c            # run a mini-C source file
 //	rpromote -file prog.c -dump      # also print the final IR
 //	rpromote -workload go -alg baseline
+//	rpromote -workload go -pressure-cap 8   # capped promotion report
 //	rpromote -list                   # list built-in workloads
 package main
 
@@ -40,6 +41,7 @@ func main() {
 		wholeFunc   = flag.Bool("whole-function", false, "promote at whole-function scope (the paper's rejected first approach)")
 		preMemOpts  = flag.Bool("memopts", false, "run memory-SSA scalar optimizations before promotion")
 		regPressure = flag.Bool("pressure", false, "report register pressure per function")
+		pressureCap = flag.Int("pressure-cap", 0, "hard register-pressure cap: promoted code never needs more than max(cap, baseline) colors (0 = off)")
 		check       = flag.String("check", "off", "self-checking level: off, boundaries, or paranoid")
 		failFast    = flag.Bool("failfast", false, "abort on the first stage failure instead of degrading the function")
 		fault       = flag.String("fault", "", "inject a fault at stage[/func][:error|panic], e.g. promote/main:panic")
@@ -115,6 +117,7 @@ func main() {
 		FailFast:           *failFast,
 		Faults:             injector,
 		Workers:            *workers,
+		PressureCap:        *pressureCap,
 	})
 	if err != nil {
 		fatal(err, *verbose)
@@ -164,6 +167,24 @@ func main() {
 			r := results[fn]
 			fmt.Printf("pressure %-16s colors=%d maxlive=%d nodes=%d edges=%d\n",
 				fn, r.Colors, r.MaxLive, r.Nodes, r.Edges)
+		}
+	}
+
+	if *pressureCap > 0 {
+		fmt.Println()
+		results, names := regalloc.AllocateProgram(out.Prog)
+		for _, fn := range names {
+			pres := out.Pressure[fn]
+			if pres == nil {
+				continue
+			}
+			fmt.Printf("cap %-16s baseline=%d uncapped=%d final=%d effcap=%d budget=%d trials=%d demoted=%d\n",
+				fn, pres.BaselineColors, pres.UncappedColors, pres.FinalColors,
+				pres.EffectiveCap, pres.BudgetUsed, pres.Trials, pres.Stats.WebsDemoted)
+			if r := results[fn]; r != nil && r.Colors > pres.EffectiveCap {
+				fmt.Printf("cap %-16s VIOLATION: emitted IR needs %d colors\n", fn, r.Colors)
+				os.Exit(1)
+			}
 		}
 	}
 

@@ -1,0 +1,140 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/pipeline"
+	"repro/internal/ssa"
+	"repro/internal/workload"
+)
+
+// prepSSA normalizes prog's functions and builds SSA form — the shape
+// the liveness/pressure kinds are meant to analyze.
+func prepSSA(t *testing.T, prog *ir.Program) {
+	t.Helper()
+	for _, f := range prog.Funcs {
+		if _, err := cfg.Normalize(f); err != nil {
+			t.Fatalf("Normalize(%s): %v", f.Name, err)
+		}
+		if _, err := ssa.Build(f); err != nil {
+			t.Fatalf("ssa.Build(%s): %v", f.Name, err)
+		}
+	}
+}
+
+// TestLivenessCacheCoherence checks the content-keyed kinds: repeated
+// access is a hit, the cached result equals a fresh compute, and an
+// in-place instruction rewrite (no CFG version bump) forces exactly one
+// rebuild at the same version.
+func TestLivenessCacheCoherence(t *testing.T) {
+	prog := compileCorpus(t, 1)[0]
+	prepSSA(t, prog)
+	c := analysis.New()
+	for _, f := range prog.Funcs {
+		for i := 0; i < 3; i++ {
+			got := c.Liveness(f)
+			if fresh := liveness.Compute(f); !got.Equal(fresh) {
+				t.Fatalf("%s: cached liveness differs from fresh compute", f.Name)
+			}
+			pres := c.Pressure(f)
+			if fresh := liveness.ComputePressure(c.Liveness(f), c.Intervals(f)); !pres.Equal(fresh) {
+				t.Fatalf("%s: cached pressure differs from fresh compute", f.Name)
+			}
+		}
+		builds := c.Builds(f)
+		if n := len(builds[analysis.KindLiveness]); n != 1 {
+			t.Errorf("%s: liveness built %d times for an unchanged function, want 1", f.Name, n)
+		}
+		if n := len(builds[analysis.KindPressure]); n != 1 {
+			t.Errorf("%s: pressure built %d times for an unchanged function, want 1", f.Name, n)
+		}
+	}
+}
+
+// TestLivenessRebuildsOnFingerprintChange rewrites one instruction in
+// place — the CFG version cannot notice — and checks the next access
+// rebuilds rather than serving the stale stream's liveness.
+func TestLivenessRebuildsOnFingerprintChange(t *testing.T) {
+	prog := compileCorpus(t, 0)[0]
+	prepSSA(t, prog)
+	var target *ir.Function
+	var victim *ir.Instr
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpAdd {
+					target, victim = f, in
+					break
+				}
+			}
+			if victim != nil {
+				break
+			}
+		}
+		if victim != nil {
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("no add instruction in first workload")
+	}
+	c := analysis.New()
+	v := target.CFGVersion()
+	c.Liveness(target)
+	victim.Op = ir.OpSub
+	if target.CFGVersion() != v {
+		t.Fatal("opcode rewrite bumped the CFG version; test premise broken")
+	}
+	c.Liveness(target)
+	c.Liveness(target) // stable again: must be a hit
+	if n := len(c.Builds(target)[analysis.KindLiveness]); n != 2 {
+		t.Fatalf("liveness built %d times across an in-place rewrite, want 2", n)
+	}
+}
+
+// TestParanoidLivenessRevalidation corrupts a cached liveness result
+// and checks the paranoid hit path panics instead of serving it.
+func TestParanoidLivenessRevalidation(t *testing.T) {
+	prog := compileCorpus(t, 0)[0]
+	prepSSA(t, prog)
+	f := prog.Funcs[0]
+	c := analysis.New()
+	c.Paranoid = true
+	info := c.Liveness(f)
+	// Corrupt the cached object the way a missed invalidation would
+	// manifest: the stored result no longer matches the function.
+	info.MaxLive++
+	defer func() {
+		if recover() == nil {
+			t.Fatal("paranoid liveness hit did not panic on a corrupted cached result")
+		}
+	}()
+	c.Liveness(f)
+}
+
+// TestPressureRunBuildsLiveness checks the end-to-end wiring: a
+// pressure-capped pipeline run against a supplied cache records
+// liveness builds, and TotalBuilds aggregates them (the /metrics
+// export's data source).
+func TestPressureRunBuildsLiveness(t *testing.T) {
+	cache := analysis.New()
+	w := workload.Suite()[0]
+	if _, err := pipeline.Run(w.Src, pipeline.Options{
+		PressureCap:     6,
+		SkipMeasurement: true,
+		AnalysisCache:   cache,
+	}); err != nil {
+		t.Fatalf("pipeline.Run: %v", err)
+	}
+	totals := cache.TotalBuilds()
+	if totals[analysis.KindLiveness] == 0 {
+		t.Error("pressure-capped run recorded no liveness builds")
+	}
+	if totals[analysis.KindDom] == 0 {
+		t.Error("run recorded no dom builds")
+	}
+}

@@ -71,6 +71,62 @@ func (d *Dense) Count() int {
 	return c
 }
 
+// CopyFrom overwrites d's membership with other's. The two sets must
+// have the same capacity.
+func (d *Dense) CopyFrom(other *Dense) {
+	if d.n != other.n {
+		panic("bitset: CopyFrom capacity mismatch")
+	}
+	copy(d.words, other.words)
+}
+
+// UnionWith adds every member of other to d, reporting whether d grew.
+// The two sets must have the same capacity.
+func (d *Dense) UnionWith(other *Dense) bool {
+	if d.n != other.n {
+		panic("bitset: UnionWith capacity mismatch")
+	}
+	changed := false
+	for i, w := range other.words {
+		if nw := d.words[i] | w; nw != d.words[i] {
+			d.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Equal reports whether the two sets have identical membership. Sets of
+// different capacity are equal when their members coincide.
+func (d *Dense) Equal(other *Dense) bool {
+	long, short := d.words, other.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if long[i] != w {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every member, in ascending order.
+func (d *Dense) ForEach(fn func(int)) {
+	for wi, w := range d.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi<<6 | b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
 // Sparse is a fixed-capacity sparse set over [0, Cap): add, membership,
 // and whole-set clear are all O(1), and iteration touches only members.
 // The zero-initialization trick (Briggs–Torczon) means construction is

@@ -139,6 +139,18 @@ func dedicateTails(f *ir.Function, iv *Interval) bool {
 	return changed
 }
 
+// AnnotatedIntervals builds the interval forest of an already-normalized
+// function and re-derives the Preheader annotations Normalize would have
+// set. Callers transforming a Clone (whose forest pointers reference the
+// original's blocks) use this to get a forest over the clone's own
+// blocks; on a normalized CFG the preheaders found here are exactly the
+// ones Normalize inserted.
+func AnnotatedIntervals(f *ir.Function) *Forest {
+	forest := BuildIntervals(f)
+	annotatePreheaders(f, forest)
+	return forest
+}
+
 func annotatePreheaders(f *ir.Function, forest *Forest) {
 	dom := BuildDomTree(f)
 	forest.Root.Walk(func(iv *Interval) {

@@ -81,6 +81,23 @@ type Config struct {
 	// leaving the transformation residue visible (used by tests that
 	// inspect intermediate structure).
 	KeepCleanupResidue bool
+	// PressureBudget, when positive, makes promotion pressure-aware: a
+	// web is promoted only if, in every block its promoted register
+	// spans, the pre-promotion register pressure (BlockPressure) plus
+	// the registers charged by promotions so far plus this web's one
+	// register stays within the budget. Webs that do not fit are demoted
+	// (left in memory, counted in Stats.WebsDemoted), and within an
+	// interval webs are considered in profit-per-pressure order — the
+	// cheapest pressure per unit of saved memory traffic first — instead
+	// of raw profit order. The budget is a heuristic, not a hard bound
+	// on regalloc colors; PromoteUnderPressure wraps it in a
+	// trial-and-measure loop for the hard guarantee.
+	PressureBudget int
+	// BlockPressure is the per-block baseline MaxLive, indexed by
+	// ir.BlockID (liveness.Compute on the pre-promotion SSA form).
+	// Required when PressureBudget > 0; blocks beyond the slice are
+	// treated as pressure 0.
+	BlockPressure []int
 	// Dom and DF optionally supply prebuilt analyses of f's current CFG
 	// (the pipeline passes them from its analysis cache). When Dom is
 	// nil or DF is invalid, PromoteFunction computes its own.
@@ -94,6 +111,7 @@ type Stats struct {
 	WebsPromoted    int // full promotions (stores removed or no stores existed)
 	WebsLoadOnly    int // partial: loads replaced, stores kept
 	WebsRejected    int // unprofitable
+	WebsDemoted     int // profitable but over the pressure budget
 	LoadsReplaced   int
 	StoresDeleted   int
 	LoadsInserted   int
@@ -107,6 +125,7 @@ func (s *Stats) Add(other Stats) {
 	s.WebsPromoted += other.WebsPromoted
 	s.WebsLoadOnly += other.WebsLoadOnly
 	s.WebsRejected += other.WebsRejected
+	s.WebsDemoted += other.WebsDemoted
 	s.LoadsReplaced += other.LoadsReplaced
 	s.StoresDeleted += other.StoresDeleted
 	s.LoadsInserted += other.LoadsInserted
@@ -134,6 +153,9 @@ func PromoteFunction(f *ir.Function, forest *cfg.Forest, config Config) (*Stats,
 	p.df = config.DF
 	if !p.df.Valid() {
 		p.df = cfg.BuildDomFrontiers(p.dom)
+	}
+	if config.PressureBudget > 0 {
+		p.extra = make([]int, f.BlockIDBound())
 	}
 
 	var err error
@@ -177,6 +199,10 @@ type promoter struct {
 	stats  *Stats
 	dom    *cfg.DomTree
 	df     cfg.DomFrontiers
+	// extra, indexed by block ID, counts the registers already charged
+	// to each block by promotions in this pass (only allocated when a
+	// pressure budget is set).
+	extra []int
 }
 
 // freq returns the profile frequency of the block containing the given
@@ -185,14 +211,32 @@ func (p *promoter) freq(b *ir.Block) float64 { return p.config.Profile.BlockFreq
 
 func (p *promoter) promoteInInterval(iv *cfg.Interval) error {
 	webs := p.constructSSAWebs(iv)
-	if p.config.MaxPromotedWebs > 0 {
-		// Under a pressure budget, spend it on the most profitable webs
-		// first.
+	if p.config.MaxPromotedWebs > 0 || p.config.PressureBudget > 0 {
+		// Under a budget, spend it on the best webs first: by raw profit
+		// when only the web count is capped, by profit per unit of
+		// pressure cost when a pressure budget is set (a web referenced
+		// only in cold blocks is cheap to carry; one spanning the hot
+		// loop body is not).
 		plans := make(map[*web]*webPlan, len(webs))
 		for _, w := range webs {
 			plans[w] = p.planWeb(iv, w)
 		}
+		score := func(w *web) float64 {
+			pr := plans[w].profit()
+			if p.config.PressureBudget <= 0 {
+				return pr
+			}
+			cost := p.pressureCost(iv, w)
+			if cost <= 0 {
+				cost = 1
+			}
+			return pr / cost
+		}
 		sort.SliceStable(webs, func(i, j int) bool {
+			si, sj := score(webs[i]), score(webs[j])
+			if si != sj {
+				return si > sj
+			}
 			return plans[webs[i]].profit() > plans[webs[j]].profit()
 		})
 	}
@@ -202,6 +246,89 @@ func (p *promoter) promoteInInterval(iv *cfg.Interval) error {
 		}
 	}
 	return nil
+}
+
+// spanBlocks returns the blocks a web's promoted register is charged
+// to: every block referencing the web, plus the interval boundary (the
+// preheader holds the canonical load and the header carries the value
+// in). Blocks the register merely passes through are not charged — the
+// budget is a placement heuristic; PromoteUnderPressure's trial loop
+// supplies the hard color guarantee.
+func (p *promoter) spanBlocks(iv *cfg.Interval, w *web) []*ir.Block {
+	seen := make(map[ir.BlockID]bool)
+	var span []*ir.Block
+	add := func(b *ir.Block) {
+		if b != nil && !seen[b.ID] {
+			seen[b.ID] = true
+			span = append(span, b)
+		}
+	}
+	if !iv.Root {
+		add(iv.Preheader)
+		add(iv.Header)
+	}
+	for _, in := range w.loads {
+		add(in.Parent)
+	}
+	for _, in := range w.stores {
+		add(in.Parent)
+	}
+	for _, r := range w.aliasedLoads {
+		add(r.in.Parent)
+	}
+	for _, r := range w.aliasedDefs {
+		add(r.in.Parent)
+	}
+	for _, in := range w.memPhis {
+		add(in.Parent)
+	}
+	return span
+}
+
+// pressureCost is the spill-cost weight of carrying the web in a
+// register: profile frequency summed over the span (the static
+// estimator's frequency is 10^loop-depth, so this is exactly the
+// loop-depth × execution-frequency weight of the classic spill metric).
+func (p *promoter) pressureCost(iv *cfg.Interval, w *web) float64 {
+	cost := 0.0
+	for _, b := range p.spanBlocks(iv, w) {
+		cost += p.freq(b)
+	}
+	return cost
+}
+
+// fitsPressure reports whether promoting one more register for w keeps
+// every spanned block within the pressure budget.
+func (p *promoter) fitsPressure(iv *cfg.Interval, w *web) bool {
+	if p.config.PressureBudget <= 0 {
+		return true
+	}
+	for _, b := range p.spanBlocks(iv, w) {
+		base := 0
+		if int(b.ID) < len(p.config.BlockPressure) {
+			base = p.config.BlockPressure[b.ID]
+		}
+		extra := 0
+		if int(b.ID) < len(p.extra) {
+			extra = p.extra[b.ID]
+		}
+		if base+extra+1 > p.config.PressureBudget {
+			return false
+		}
+	}
+	return true
+}
+
+// chargePressure records w's promoted register against its span.
+func (p *promoter) chargePressure(iv *cfg.Interval, w *web) {
+	if p.config.PressureBudget <= 0 {
+		return
+	}
+	for _, b := range p.spanBlocks(iv, w) {
+		if int(b.ID) < len(p.extra) {
+			p.extra[b.ID]++
+		}
+	}
 }
 
 // budgetExhausted reports whether the pressure budget forbids another
@@ -223,12 +350,21 @@ func (p *promoter) promoteInWeb(iv *cfg.Interval, w *web) error {
 		p.addDummyLoad(iv, w, plan)
 		return nil
 	}
+	if !p.fitsPressure(iv, w) {
+		// Profitable, but its register would push some spanned block
+		// over the pressure budget: partially demote — the web stays in
+		// memory — rather than blow the cap.
+		p.stats.WebsDemoted++
+		p.addDummyLoad(iv, w, plan)
+		return nil
+	}
 
 	if len(w.defsInInterval) == 0 {
 		// No definitions: one load in the preheader, every load in the
 		// web becomes a copy.
 		p.promoteLoadOnlyWeb(iv, w, plan)
 		p.stats.WebsPromoted++
+		p.chargePressure(iv, w)
 		if len(w.aliasedLoads) > 0 {
 			p.addDummyLoad(iv, w, plan)
 		}
@@ -250,6 +386,7 @@ func (p *promoter) promoteInWeb(iv *cfg.Interval, w *web) error {
 	} else {
 		p.stats.WebsLoadOnly++
 	}
+	p.chargePressure(iv, w)
 	if len(w.aliasedLoads) > 0 {
 		p.addDummyLoad(iv, w, plan)
 	}

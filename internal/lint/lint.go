@@ -1,0 +1,225 @@
+// Package lint implements the repo's custom determinism lint: the
+// compiler-side packages (IR, analyses, transforms, the workload
+// generator) must be bit-for-bit reproducible across runs, so they may
+// not read wall-clock time or draw from the process-global random
+// source. The lint parses each package's non-test sources with
+// go/parser and flags:
+//
+//   - any use of time.Now, time.Since, or time.Until — wall-clock reads
+//     that make output depend on when the run happened;
+//   - any use of math/rand other than rand.New and rand.NewSource —
+//     the package-level functions (rand.Intn, rand.Float64, ...) draw
+//     from the global source, whose sequence is shared process-wide and
+//     therefore depends on what ran before. Explicitly seeded
+//     rand.New(rand.NewSource(seed)) generators are fine: that is how
+//     the workload generator gets deterministic variety.
+//
+// The canonical implementation of this kind of check is a go/analysis
+// Analyzer run via `go vet -vettool`. That framework lives in
+// golang.org/x/tools, which this repo deliberately does not depend on
+// (zero external modules); the stdlib go/parser + go/ast walk below
+// enforces the same rules with the toolchain alone. `make lint` (and
+// `make ci`) runs it over DefaultPackages via cmd/rplint.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Issue is one lint finding.
+type Issue struct {
+	// File is the path as given to the checker.
+	File string
+	// Line is the 1-based source line.
+	Line int
+	// Msg says what was used and why it is forbidden.
+	Msg string
+}
+
+// String renders "file:line: msg".
+func (i Issue) String() string {
+	return fmt.Sprintf("%s:%d: %s", i.File, i.Line, i.Msg)
+}
+
+// DefaultPackages lists the internal packages held to the determinism
+// contract, relative to the module root. Packages that measure wall
+// time on purpose (pipeline stage timings, the server, the
+// interpreter's timeout plumbing) are deliberately absent.
+var DefaultPackages = []string{
+	"internal/alias",
+	"internal/analysis",
+	"internal/baseline",
+	"internal/bitset",
+	"internal/cfg",
+	"internal/core",
+	"internal/diag",
+	"internal/ir",
+	"internal/lint",
+	"internal/liveness",
+	"internal/opt",
+	"internal/profile",
+	"internal/regalloc",
+	"internal/source",
+	"internal/ssa",
+	"internal/workload",
+}
+
+// forbiddenTime are the time members that read the wall clock.
+var forbiddenTime = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// allowedRand are the math/rand members that build explicitly seeded
+// generators; everything else on the package draws from or mutates the
+// process-global source.
+var allowedRand = map[string]bool{"New": true, "NewSource": true}
+
+// CheckSource lints one file's source text. filename is used for
+// positions only.
+func CheckSource(filename string, src []byte) ([]Issue, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	return checkFile(fset, filename, f), nil
+}
+
+// CheckDir lints every non-test .go file directly in dir, in name
+// order.
+func CheckDir(dir string) ([]Issue, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var issues []Issue
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		found, err := CheckSource(path, src)
+		if err != nil {
+			return nil, err
+		}
+		issues = append(issues, found...)
+	}
+	return issues, nil
+}
+
+// CheckPackages lints each package directory (relative to root), in
+// order, and returns all issues.
+func CheckPackages(root string, pkgs []string) ([]Issue, error) {
+	var issues []Issue
+	for _, pkg := range pkgs {
+		found, err := CheckDir(filepath.Join(root, pkg))
+		if err != nil {
+			return nil, fmt.Errorf("lint %s: %w", pkg, err)
+		}
+		issues = append(issues, found...)
+	}
+	return issues, nil
+}
+
+// checkFile walks one parsed file. Import aliases are honored: the
+// rules key on the import path ("time", "math/rand"), not the local
+// name, so `import clock "time"` does not dodge the check.
+func checkFile(fset *token.FileSet, filename string, f *ast.File) []Issue {
+	// Local names bound to the watched import paths.
+	timeNames := map[string]bool{}
+	randNames := map[string]bool{}
+	var issues []Issue
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if path != "time" && path != "math/rand" {
+			continue
+		}
+		local := localName(imp, path)
+		switch {
+		case local == "_":
+			// Blank import: nothing reachable.
+		case local == ".":
+			// A dot import makes every member an unqualified
+			// identifier, which this resolver-free walk cannot
+			// attribute reliably — flag the import itself.
+			issues = append(issues, Issue{
+				File: filename, Line: fset.Position(imp.Pos()).Line,
+				Msg: fmt.Sprintf("dot import of %q defeats the determinism lint; use a named import", path),
+			})
+		case path == "time":
+			timeNames[local] = true
+		default:
+			randNames[local] = true
+		}
+	}
+	if len(timeNames) == 0 && len(randNames) == 0 {
+		return issues
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		line := fset.Position(sel.Pos()).Line
+		switch {
+		case timeNames[id.Name] && forbiddenTime[sel.Sel.Name]:
+			issues = append(issues, Issue{
+				File: filename, Line: line,
+				Msg: fmt.Sprintf("time.%s reads the wall clock; deterministic packages must not depend on when they run", sel.Sel.Name),
+			})
+		case randNames[id.Name] && !allowedRand[sel.Sel.Name]:
+			// Type names like rand.Rand appear in declarations, not
+			// as calls on the global source; they are harmless.
+			if isRandType(sel.Sel.Name) {
+				return true
+			}
+			issues = append(issues, Issue{
+				File: filename, Line: line,
+				Msg: fmt.Sprintf("rand.%s uses the process-global random source; build an explicitly seeded rand.New(rand.NewSource(seed)) instead", sel.Sel.Name),
+			})
+		}
+		return true
+	})
+	sort.SliceStable(issues, func(a, b int) bool { return issues[a].Line < issues[b].Line })
+	return issues
+}
+
+// isRandType reports whether name is a math/rand type rather than a
+// function on the global source.
+func isRandType(name string) bool {
+	switch name {
+	case "Rand", "Source", "Source64", "Zipf":
+		return true
+	}
+	return false
+}
+
+// localName resolves the identifier an import binds in this file.
+func localName(imp *ast.ImportSpec, path string) string {
+	if imp.Name != nil {
+		return imp.Name.Name
+	}
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src string) []Issue {
+	t.Helper()
+	issues, err := CheckSource("probe.go", []byte(src))
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	return issues
+}
+
+func TestFlagsWallClockReads(t *testing.T) {
+	src := `package p
+import "time"
+func f() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+`
+	issues := check(t, src)
+	if len(issues) != 2 {
+		t.Fatalf("issues = %v, want time.Now and time.Since flagged", issues)
+	}
+	if !strings.Contains(issues[0].Msg, "time.Now") || issues[0].Line != 4 {
+		t.Errorf("first issue = %v, want time.Now at line 4", issues[0])
+	}
+	if !strings.Contains(issues[1].Msg, "time.Since") || issues[1].Line != 5 {
+		t.Errorf("second issue = %v, want time.Since at line 5", issues[1])
+	}
+}
+
+func TestAllowsDeterministicTimeUse(t *testing.T) {
+	src := `package p
+import "time"
+const tick = 5 * time.Millisecond
+func f(d time.Duration) string { return d.String() }
+`
+	if issues := check(t, src); len(issues) != 0 {
+		t.Fatalf("issues = %v, want none for Duration arithmetic", issues)
+	}
+}
+
+func TestFlagsGlobalRandButAllowsSeeded(t *testing.T) {
+	src := `package p
+import "math/rand"
+func f(seed int64) (int, *rand.Rand) {
+	g := rand.New(rand.NewSource(seed))
+	return rand.Intn(10), g
+}
+`
+	issues := check(t, src)
+	if len(issues) != 1 {
+		t.Fatalf("issues = %v, want only rand.Intn flagged", issues)
+	}
+	if !strings.Contains(issues[0].Msg, "rand.Intn") || issues[0].Line != 5 {
+		t.Errorf("issue = %v, want rand.Intn at line 5", issues[0])
+	}
+}
+
+func TestHonorsImportAliases(t *testing.T) {
+	src := `package p
+import clock "time"
+func f() { _ = clock.Now() }
+`
+	issues := check(t, src)
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "time.Now") {
+		t.Fatalf("issues = %v, want aliased time.Now flagged", issues)
+	}
+
+	// A different package named "time" locally is not the stdlib time.
+	src = `package p
+import time "example.com/notclock"
+func f() { _ = time.Now() }
+`
+	if issues := check(t, src); len(issues) != 0 {
+		t.Fatalf("issues = %v, want none for shadowing import path", issues)
+	}
+}
+
+func TestFlagsDotImport(t *testing.T) {
+	src := `package p
+import . "time"
+func f() { _ = Now() }
+`
+	issues := check(t, src)
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "dot import") {
+		t.Fatalf("issues = %v, want the dot import itself flagged", issues)
+	}
+}
+
+// TestDefaultPackagesClean is the repo-level gate: every package under
+// the determinism contract must lint clean right now. cmd/rplint runs
+// the same check from make lint; this keeps `go test` equivalent.
+func TestDefaultPackagesClean(t *testing.T) {
+	root := filepath.Join("..", "..")
+	issues, err := CheckPackages(root, DefaultPackages)
+	if err != nil {
+		t.Fatalf("CheckPackages: %v", err)
+	}
+	for _, is := range issues {
+		t.Errorf("%s", is)
+	}
+}

@@ -1,0 +1,72 @@
+package liveness
+
+import "repro/internal/ir"
+
+// fnv64Offset and fnv64Prime are the FNV-1a 64-bit parameters.
+const (
+	fnv64Offset = 14695981039346656037
+	fnv64Prime  = 1099511628211
+)
+
+// Fingerprint hashes the parts of the instruction stream liveness
+// depends on: block identity and order, successor edges, opcodes,
+// destination and operand registers, constants, callees, and memory
+// locations. Two functions with equal fingerprints (and equal register
+// counts, which the hash includes) get identical liveness, so the
+// analysis cache can key on (CFGVersion, Fingerprint) and survive
+// shape-preserving rewrites like promotion's load/store replacement.
+func Fingerprint(f *ir.Function) uint64 {
+	h := uint64(fnv64Offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnv64Prime
+			v >>= 8
+		}
+	}
+	mixStr := func(s string) {
+		mix(uint64(len(s)))
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= fnv64Prime
+		}
+	}
+
+	mix(uint64(f.NumRegs))
+	mix(uint64(len(f.Params)))
+	for _, p := range f.Params {
+		mix(uint64(p))
+	}
+	mix(uint64(len(f.Blocks)))
+	for _, b := range f.Blocks {
+		mix(uint64(b.ID))
+		mix(uint64(len(b.Succs)))
+		for _, s := range b.Succs {
+			mix(uint64(s.ID))
+		}
+		mix(uint64(len(b.Instrs)))
+		for _, in := range b.Instrs {
+			mix(uint64(in.Op))
+			mix(uint64(int64(in.Dst)))
+			mix(uint64(len(in.Args)))
+			for _, a := range in.Args {
+				if a.IsConst() {
+					mix(1)
+					mix(uint64(a.Const()))
+				} else {
+					mix(0)
+					mix(uint64(a.Reg()))
+				}
+			}
+			if in.Callee != "" {
+				mixStr(in.Callee)
+			}
+			if in.Loc.Kind != ir.LocNone {
+				mix(uint64(in.Loc.Kind))
+				mixStr(in.Loc.Object())
+				mix(uint64(in.Loc.Offset))
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,320 @@
+package liveness_test
+
+import (
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/source"
+	"repro/internal/ssa"
+	"repro/internal/workload"
+)
+
+// figure1Src is the paper's running example (Figure 1).
+const figure1Src = `
+int x;
+void foo() { x = x + 1; }
+void main() {
+	int i;
+	for (i = 0; i < 100; i++) x++;
+	for (i = 0; i < 10; i++) foo();
+	print(x);
+}
+`
+
+// figure7Src is the paper's cold-call-path example (Figure 7).
+const figure7Src = `
+int x;
+int log;
+void foo() { log = log + x; }
+void main() {
+	int i;
+	for (i = 0; i < 100; i++) {
+		x++;
+		if (x < 30) foo();
+	}
+	print(x);
+	print(log);
+}
+`
+
+// buildSSA compiles src through the front half of the pipeline and
+// returns each function in SSA form along with its interval forest.
+func buildSSA(t *testing.T, src string) (*ir.Program, map[string]*cfg.Forest) {
+	t.Helper()
+	prog, err := source.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := alias.Analyze(prog); err != nil {
+		t.Fatalf("alias: %v", err)
+	}
+	forests := make(map[string]*cfg.Forest, len(prog.Funcs))
+	for _, f := range prog.Funcs {
+		forest, err := cfg.Normalize(f)
+		if err != nil {
+			t.Fatalf("normalize %s: %v", f.Name, err)
+		}
+		if _, err := ssa.Build(f); err != nil {
+			t.Fatalf("ssa %s: %v", f.Name, err)
+		}
+		forests[f.Name] = forest
+	}
+	return prog, forests
+}
+
+func fn(t *testing.T, prog *ir.Program, name string) *ir.Function {
+	t.Helper()
+	for _, f := range prog.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+// TestFigure1Golden pins the liveness facts of the paper's running
+// example. The values are goldens: any change to the front end, the
+// SSA builder, or the analysis that moves them is worth noticing.
+func TestFigure1Golden(t *testing.T) {
+	prog, forests := buildSSA(t, figure1Src)
+
+	foo := liveness.Compute(fn(t, prog, "foo"))
+	if foo.MaxLive != 1 {
+		t.Errorf("foo MaxLive = %d, want 1 (straight-line load-add-store)", foo.MaxLive)
+	}
+
+	main := fn(t, prog, "main")
+	info := liveness.Compute(main)
+	if info.MaxLive != 5 {
+		t.Errorf("main MaxLive = %d, want 5", info.MaxLive)
+	}
+	// Per-block pressure of the two loops: the hot x++ loop peaks at 5
+	// (i, x, both increments, and the loop-carried phi inputs), the
+	// call loop at 3 (the call kills everything but i's web).
+	wantBlock := map[ir.BlockID]int{0: 1, 1: 2, 2: 4, 3: 5, 4: 1, 5: 2, 6: 2, 7: 3, 8: 1}
+	for id, want := range wantBlock {
+		if got := info.BlockMaxLive[id]; got != want {
+			t.Errorf("main BlockMaxLive[%d] = %d, want %d", id, got, want)
+		}
+	}
+	// Interval pressure: the function root sees 5; the first loop's
+	// interval (header 1) contains the hot blocks, the second (header
+	// 5) only the call loop.
+	pres := liveness.ComputePressure(info, forests["main"])
+	if pres.FunctionMaxLive != 5 {
+		t.Errorf("FunctionMaxLive = %d, want 5", pres.FunctionMaxLive)
+	}
+	wantHeaders := map[ir.BlockID]int{0: 5, 1: 5, 5: 3}
+	if len(pres.ByHeader) != len(wantHeaders) {
+		t.Errorf("ByHeader = %v, want headers %v", pres.ByHeader, wantHeaders)
+	}
+	for h, want := range wantHeaders {
+		if got, ok := pres.ByHeader[h]; !ok || got != want {
+			t.Errorf("ByHeader[%d] = %d (present %v), want %d", h, got, ok, want)
+		}
+	}
+}
+
+// TestFigure7Golden pins the liveness facts of the cold-call example:
+// the conditional call keeps both globals' webs live around the
+// branch diamond, so every diamond block carries the same 6 live webs.
+func TestFigure7Golden(t *testing.T) {
+	prog, forests := buildSSA(t, figure7Src)
+
+	foo := liveness.Compute(fn(t, prog, "foo"))
+	if foo.MaxLive != 2 {
+		t.Errorf("foo MaxLive = %d, want 2 (log and x webs overlap)", foo.MaxLive)
+	}
+
+	main := fn(t, prog, "main")
+	info := liveness.Compute(main)
+	if info.MaxLive != 7 {
+		t.Errorf("main MaxLive = %d, want 7", info.MaxLive)
+	}
+	wantBlock := map[ir.BlockID]int{0: 1, 1: 2, 2: 6, 3: 7, 4: 1, 5: 6, 6: 6, 7: 6}
+	for id, want := range wantBlock {
+		if got := info.BlockMaxLive[id]; got != want {
+			t.Errorf("main BlockMaxLive[%d] = %d, want %d", id, got, want)
+		}
+	}
+	pres := liveness.ComputePressure(info, forests["main"])
+	wantHeaders := map[ir.BlockID]int{0: 7, 1: 7}
+	if len(pres.ByHeader) != len(wantHeaders) {
+		t.Errorf("ByHeader = %v, want headers %v", pres.ByHeader, wantHeaders)
+	}
+	for h, want := range wantHeaders {
+		if got, ok := pres.ByHeader[h]; !ok || got != want {
+			t.Errorf("ByHeader[%d] = %d (present %v), want %d", h, got, ok, want)
+		}
+	}
+}
+
+// referenceLiveness is a deliberately naive map-based fixpoint with the
+// same phi semantics as Compute, iterated in forward block order (the
+// opposite of Compute's backward sweep) until stable. It exists only to
+// cross-check the bitset implementation.
+func referenceLiveness(f *ir.Function) (in, out map[ir.BlockID]map[int]bool) {
+	in = make(map[ir.BlockID]map[int]bool)
+	out = make(map[ir.BlockID]map[int]bool)
+	for _, b := range f.Blocks {
+		in[b.ID] = map[int]bool{}
+		out[b.ID] = map[int]bool{}
+	}
+	equal := func(a, b map[int]bool) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for r := range a {
+			if !b[r] {
+				return false
+			}
+		}
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			o := map[int]bool{}
+			for _, s := range b.Succs {
+				for r := range in[s.ID] {
+					o[r] = true
+				}
+				for _, phi := range s.Phis() {
+					if phi.Op != ir.OpPhi {
+						continue
+					}
+					pi := s.PredIndex(b)
+					if pi >= 0 && pi < len(phi.Args) && !phi.Args[pi].IsConst() {
+						o[int(phi.Args[pi].Reg())] = true
+					}
+				}
+			}
+			i := map[int]bool{}
+			for r := range o {
+				i[r] = true
+			}
+			for k := len(b.Instrs) - 1; k >= 0; k-- {
+				instr := b.Instrs[k]
+				if instr.HasDst() {
+					delete(i, int(instr.Dst))
+				}
+				if instr.Op == ir.OpPhi {
+					continue
+				}
+				for _, a := range instr.Args {
+					if !a.IsConst() {
+						i[int(a.Reg())] = true
+					}
+				}
+			}
+			if !equal(o, out[b.ID]) || !equal(i, in[b.ID]) {
+				out[b.ID], in[b.ID] = o, i
+				changed = true
+			}
+		}
+	}
+	return in, out
+}
+
+// TestMatchesReference cross-checks Compute against the map-based
+// reference on the whole workload suite plus a generated corpus.
+func TestMatchesReference(t *testing.T) {
+	corpus := workload.Suite()
+	corpus = append(corpus, workload.Corpus(7, 6)...)
+	for _, w := range corpus {
+		prog, _ := buildSSA(t, w.Src)
+		for _, f := range prog.Funcs {
+			info := liveness.Compute(f)
+			refIn, refOut := referenceLiveness(f)
+			for _, b := range f.Blocks {
+				for r := 0; r < f.NumRegs; r++ {
+					if info.LiveIn[b.ID].Has(r) != refIn[b.ID][r] {
+						t.Fatalf("%s/%s block %d: live-in disagreement on r%d (bitset %v, reference %v)",
+							w.Name, f.Name, b.ID, r, info.LiveIn[b.ID].Has(r), refIn[b.ID][r])
+					}
+					if info.LiveOut[b.ID].Has(r) != refOut[b.ID][r] {
+						t.Fatalf("%s/%s block %d: live-out disagreement on r%d (bitset %v, reference %v)",
+							w.Name, f.Name, b.ID, r, info.LiveOut[b.ID].Has(r), refOut[b.ID][r])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestComputeIsDeterministic checks Equal and that recomputation on a
+// clone reproduces the Info bit for bit, fingerprint included.
+func TestComputeIsDeterministic(t *testing.T) {
+	prog, _ := buildSSA(t, figure7Src)
+	main := fn(t, prog, "main")
+	a := liveness.Compute(main)
+	b := liveness.Compute(main.Clone())
+	if !a.Equal(b) {
+		t.Fatal("liveness of a clone differs from the original")
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fingerprints differ across Clone: %x vs %x", a.Fingerprint, b.Fingerprint)
+	}
+}
+
+// TestFingerprintSensitivity checks the fingerprint moves when the
+// instruction stream changes without a CFG edit — the exact situation
+// the (version, fingerprint) cache key exists for.
+func TestFingerprintSensitivity(t *testing.T) {
+	prog, _ := buildSSA(t, figure1Src)
+	main := fn(t, prog, "main")
+	before := liveness.Fingerprint(main)
+
+	// Swap one instruction's opcode in place: no CFG change, no
+	// version bump, different stream.
+	var victim *ir.Instr
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAdd {
+				victim = in
+				break
+			}
+		}
+		if victim != nil {
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no add instruction to mutate")
+	}
+	victim.Op = ir.OpSub
+	if after := liveness.Fingerprint(main); after == before {
+		t.Fatal("fingerprint unchanged after in-place opcode rewrite")
+	}
+	victim.Op = ir.OpAdd
+	if restored := liveness.Fingerprint(main); restored != before {
+		t.Fatal("fingerprint not restored after undoing the rewrite")
+	}
+}
+
+// TestLiveAcross spot-checks the helper against the Figure 7 diamond:
+// whatever is live-in of the branch block stays live across both arms.
+func TestLiveAcross(t *testing.T) {
+	prog, _ := buildSSA(t, figure7Src)
+	main := fn(t, prog, "main")
+	info := liveness.Compute(main)
+	found := false
+	for r := 0; r < main.NumRegs; r++ {
+		if info.LiveIn[5] != nil && info.LiveIn[5].Has(r) {
+			found = true
+			if !info.LiveAcross(5, ir.RegID(r)) {
+				t.Errorf("r%d live-in of block 5 but LiveAcross says no", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("block 5 has empty live-in; golden assumption broken")
+	}
+	if info.LiveAcross(ir.BlockID(10_000), 0) {
+		t.Error("LiveAcross claims liveness in a nonexistent block")
+	}
+}

@@ -123,8 +123,47 @@ func replaceLoad(load *ir.Instr, v ir.Value) {
 // too. Returns the number of instructions removed. The function must be
 // in SSA form.
 func DeadStoreElim(f *ir.Function) int {
-	phiDefs := make([]*ir.Instr, len(f.Resources))
-	storeDefs := make([]*ir.Instr, len(f.Resources))
+	live, phiDefs, storeDefs := markLiveVersions(f)
+
+	removed := 0
+	for v, st := range storeDefs {
+		if st != nil && !live[v] && st.Parent != nil {
+			st.Parent.Remove(st)
+			removed++
+		}
+	}
+	for v, phi := range phiDefs {
+		if phi != nil && !live[v] && phi.Parent != nil {
+			phi.Parent.Remove(phi)
+			removed++
+		}
+	}
+	return removed
+}
+
+// DeadStores returns the direct stores DeadStoreElim would remove,
+// without mutating the function — the read-only analysis behind the
+// rpanalyze dead-store rule. The function must be in SSA form. Results
+// are in block/instruction order.
+func DeadStores(f *ir.Function) []*ir.Instr {
+	live, _, storeDefs := markLiveVersions(f)
+	var dead []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpStore && storeDefs[in.MemDefs[0].Res] == in && !live[in.MemDefs[0].Res] {
+				dead = append(dead, in)
+			}
+		}
+	}
+	return dead
+}
+
+// markLiveVersions runs the mark phase shared by DeadStoreElim and
+// DeadStores: versions read by real code seed the liveness; a live
+// version defined by a memphi makes its operands live.
+func markLiveVersions(f *ir.Function) (live []bool, phiDefs, storeDefs []*ir.Instr) {
+	phiDefs = make([]*ir.Instr, len(f.Resources))
+	storeDefs = make([]*ir.Instr, len(f.Resources))
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			switch in.Op {
@@ -136,9 +175,7 @@ func DeadStoreElim(f *ir.Function) int {
 		}
 	}
 
-	// Mark: versions read by real code seed the liveness; a live
-	// version defined by a memphi makes its operands live.
-	live := make([]bool, len(f.Resources))
+	live = make([]bool, len(f.Resources))
 	var work []ir.ResourceID
 	mark := func(r ir.ResourceID) {
 		if r < 0 || int(r) >= len(live) {
@@ -168,19 +205,5 @@ func DeadStoreElim(f *ir.Function) int {
 			}
 		}
 	}
-
-	removed := 0
-	for v, st := range storeDefs {
-		if st != nil && !live[v] && st.Parent != nil {
-			st.Parent.Remove(st)
-			removed++
-		}
-	}
-	for v, phi := range phiDefs {
-		if phi != nil && !live[v] && phi.Parent != nil {
-			phi.Parent.Remove(phi)
-			removed++
-		}
-	}
-	return removed
+	return live, phiDefs, storeDefs
 }

@@ -31,9 +31,11 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cfg"
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/faults"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/liveness"
 	"repro/internal/opt"
 	"repro/internal/profile"
 	"repro/internal/source"
@@ -88,6 +90,20 @@ type Options struct {
 	// MaxPromotedWebs caps promotions per function (0 = unlimited), a
 	// crude register pressure budget.
 	MaxPromotedWebs int
+	// PressureCap, when positive, makes promotion pressure-aware: each
+	// function is promoted through core.PromoteUnderPressure, which
+	// guarantees the post-promotion regalloc color count never exceeds
+	// max(PressureCap, the function's unpromoted color count) by
+	// trial-promoting clones and demoting webs that blow the cap.
+	// Per-function results land in Outcome.Pressure. Only meaningful
+	// with AlgSSA.
+	PressureCap int
+	// Diagnose runs the internal/diag rule set over the baseline
+	// (pre-promotion) program as an extra isolated whole-program stage
+	// and records the findings in Outcome.Diagnostics. The stage reads
+	// the program without mutating it; a failure aborts the run like
+	// any other whole-program stage.
+	Diagnose bool
 	// StaticProfile uses the loop-depth estimator instead of a training
 	// run when true.
 	StaticProfile bool
@@ -156,6 +172,11 @@ type Outcome struct {
 	// Stats accumulates promotion statistics per function. Degraded
 	// functions have no entry: their transformation was rolled back.
 	Stats map[string]*core.Stats
+	// Pressure records the pressure-aware promotion result per function
+	// when Options.PressureCap is set. Degraded functions have no entry.
+	Pressure map[string]*core.PressureResult
+	// Diagnostics holds the diag findings when Options.Diagnose is set.
+	Diagnostics []diag.Finding
 	// TotalStats sums Stats.
 	TotalStats core.Stats
 	// StaticBefore/StaticAfter count singleton memory operations in the
@@ -250,6 +271,9 @@ func Run(src string, opts Options) (*Outcome, error) {
 		snapshots: make(map[string]*ir.Function),
 		degraded:  make(map[string]bool),
 	}
+	if opts.PressureCap > 0 {
+		r.out.Pressure = make(map[string]*core.PressureResult)
+	}
 	r.cache = opts.AnalysisCache
 	if r.cache == nil && !opts.NoAnalysisCache {
 		r.cache = analysis.New()
@@ -264,6 +288,22 @@ func Run(src string, opts Options) (*Outcome, error) {
 		return nil, err
 	}
 	r.out.StaticBefore = countStatic(before)
+
+	// Opt-in static diagnostics, on the baseline program: the rules
+	// clone what they need, so the differential check's reference is
+	// untouched.
+	if opts.Diagnose {
+		if err := r.runStage(StageDiagnose, "", nil, func() error {
+			ds, derr := diag.AnalyzeProgram(before, diag.Options{})
+			if derr != nil {
+				return derr
+			}
+			r.out.Diagnostics = ds
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
 
 	// Training profile (on the unpromoted program, or on a separate
 	// training-input variant when TrainSrc is set).
@@ -471,14 +511,34 @@ func (r *runner) transformFunc(prog *ir.Program, f *ir.Function, forest *cfg.For
 				scope = core.ScopeWholeFunction
 			}
 			dom, df := r.analyses(f)
-			s, err := core.PromoteFunction(f, forest, core.Config{
+			ccfg := core.Config{
 				Profile:         fp,
 				Scope:           scope,
 				CountTailStores: !r.opts.PaperProfitFormula,
 				MaxPromotedWebs: r.opts.MaxPromotedWebs,
 				Dom:             dom,
 				DF:              df,
-			})
+			}
+			if r.opts.PressureCap > 0 {
+				// The cap search seeds its budgets from the
+				// pre-promotion liveness; hand it the cache's copy
+				// (keyed on version + instruction fingerprint) so
+				// repeated analyses of the same form are hits.
+				var live *liveness.Info
+				if r.cache != nil {
+					live = r.cache.Liveness(f)
+				}
+				pres, err := core.PromoteUnderPressureWith(f, forest, ccfg, r.opts.PressureCap, live)
+				if err != nil {
+					return err
+				}
+				stats = pres.Stats
+				r.mu.Lock()
+				r.out.Pressure[f.Name] = pres
+				r.mu.Unlock()
+				return nil
+			}
+			s, err := core.PromoteFunction(f, forest, ccfg)
 			stats = s
 			return err
 		}, true})
@@ -581,6 +641,7 @@ func (r *runner) degrade(prog *ir.Program, f *ir.Function, snap *ir.Function, st
 	prog.ReplaceFunction(snap)
 	r.snapshots[f.Name] = snap
 	delete(r.out.Stats, f.Name)
+	delete(r.out.Pressure, f.Name)
 	r.mu.Unlock()
 	if r.cache != nil {
 		// The function object just left the program; drop its analyses so
@@ -692,6 +753,7 @@ func (r *runner) bisect(after *ir.Program, want *interp.Result) bool {
 		res, err := interp.Run(after, r.interpOptions())
 		if err == nil && compareResults(want, res) == "" {
 			delete(r.out.Stats, f.Name)
+			delete(r.out.Pressure, f.Name)
 			r.recordDegradation(f.Name, StageDifferential, fmt.Errorf(
 				"transformed program diverged from baseline; rolling back %s restored equivalence", f.Name))
 			if !r.opts.SkipMeasurement {

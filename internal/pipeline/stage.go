@@ -66,6 +66,12 @@ const (
 	StageVerify        = "verify"
 	StageMeasureAfter  = "measure-after"
 	StageDifferential  = "differential"
+	// StageDiagnose is the opt-in static-diagnostics stage
+	// (Options.Diagnose). It is deliberately absent from Stages(): that
+	// list is the every-run isolation contract the fault-injection
+	// tests sweep, and this stage only exists when asked for. Stage
+	// bookkeeping (timings, server metrics) tolerates the extra name.
+	StageDiagnose = "diagnose"
 )
 
 // Stages returns every pipeline stage name in execution order. Fault

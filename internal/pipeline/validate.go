@@ -61,6 +61,10 @@ func (o Options) Validate() error {
 		return &OptionError{Field: "MaxPromotedWebs", Value: o.MaxPromotedWebs,
 			Reason: "must be >= 0 (0 = unlimited)"}
 	}
+	if o.PressureCap < 0 {
+		return &OptionError{Field: "PressureCap", Value: o.PressureCap,
+			Reason: "must be >= 0 (0 = no pressure cap)"}
+	}
 	if o.Interp.MaxSteps < 0 {
 		return &OptionError{Field: "Interp.MaxSteps", Value: o.Interp.MaxSteps,
 			Reason: "must be >= 0 (0 = default)"}

@@ -1,4 +1,4 @@
-package regalloc
+package regalloc_test
 
 import (
 	"testing"
@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/pipeline"
+	"repro/internal/regalloc"
 	"repro/internal/workload"
 )
 
@@ -25,7 +26,7 @@ func TestQuickColoringIsValid(t *testing.T) {
 			return false
 		}
 		for _, f := range out.Prog.Funcs {
-			res := Allocate(f)
+			res := regalloc.Allocate(f)
 			if res.Colors < res.MaxLive {
 				t.Logf("seed %d %s: colors %d < maxlive %d", seed, f.Name, res.Colors, res.MaxLive)
 				return false
@@ -51,7 +52,7 @@ func TestQuickColoringIsValid(t *testing.T) {
 // pair of registers simultaneously live at some point has distinct
 // colors. It replays the same backward walk Allocate uses, but checks
 // instead of builds.
-func validColoring(f *ir.Function, res *Result) bool {
+func validColoring(f *ir.Function, res *regalloc.Result) bool {
 	// Recompute per-block live-out with an independent, simple
 	// iteration.
 	liveOut := make(map[*ir.Block]map[ir.RegID]bool)

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/ir"
+	"repro/internal/liveness"
 )
 
 // Result describes one function's register pressure.
@@ -35,66 +36,15 @@ type Result struct {
 // corresponding predecessor, phi definitions interfere like ordinary
 // definitions at block entry.
 func Allocate(f *ir.Function) *Result {
-	n := f.NumRegs
-	liveIn := make([]map[ir.RegID]bool, len(f.Blocks))
-	liveOut := make([]map[ir.RegID]bool, len(f.Blocks))
-	blockIdx := make(map[*ir.Block]int, len(f.Blocks))
-	for i, b := range f.Blocks {
-		blockIdx[b] = i
-		liveIn[i] = make(map[ir.RegID]bool)
-		liveOut[i] = make(map[ir.RegID]bool)
-	}
+	return AllocateWith(f, liveness.Compute(f))
+}
 
-	// Backward liveness to a fixed point. Phi operands are recorded as
-	// live-out of their predecessor, not live-in of the phi's block.
-	for changed := true; changed; {
-		changed = false
-		for i := len(f.Blocks) - 1; i >= 0; i-- {
-			b := f.Blocks[i]
-			out := make(map[ir.RegID]bool)
-			for _, s := range b.Succs {
-				si := blockIdx[s]
-				for r := range liveIn[si] {
-					out[r] = true
-				}
-				for _, phi := range s.Phis() {
-					if phi.Op != ir.OpPhi {
-						continue
-					}
-					pi := s.PredIndex(b)
-					if pi >= 0 && pi < len(phi.Args) && !phi.Args[pi].IsConst() {
-						out[phi.Args[pi].Reg()] = true
-					}
-				}
-			}
-			in := make(map[ir.RegID]bool, len(out))
-			for r := range out {
-				in[r] = true
-			}
-			for k := len(b.Instrs) - 1; k >= 0; k-- {
-				instr := b.Instrs[k]
-				if instr.HasDst() {
-					delete(in, instr.Dst)
-				}
-				if instr.Op == ir.OpPhi {
-					continue // phi uses belong to predecessors
-				}
-				for _, a := range instr.Args {
-					if !a.IsConst() {
-						in[a.Reg()] = true
-					}
-				}
-			}
-			if !sameSet(liveOut[i], out) {
-				liveOut[i] = out
-				changed = true
-			}
-			if !sameSet(liveIn[i], in) {
-				liveIn[i] = in
-				changed = true
-			}
-		}
-	}
+// AllocateWith colors f using an already-computed liveness analysis
+// (typically from the analysis cache). The Info must describe f's
+// current instruction stream; MaxLive is taken from it directly, so
+// regalloc and the static analysis layer can never disagree.
+func AllocateWith(f *ir.Function, info *liveness.Info) *Result {
+	n := f.NumRegs
 
 	// Interference graph. Walk each block backward from live-out; a
 	// definition interferes with everything live across it. Copies get
@@ -115,15 +65,9 @@ func Allocate(f *ir.Function) *Result {
 		adj[b][a] = true
 	}
 	everLive := make([]bool, n)
-	maxLive := 0
-	for i, b := range f.Blocks {
-		live := make(map[ir.RegID]bool, len(liveOut[i]))
-		for r := range liveOut[i] {
-			live[r] = true
-		}
-		if len(live) > maxLive {
-			maxLive = len(live)
-		}
+	for _, b := range f.Blocks {
+		live := make(map[ir.RegID]bool)
+		info.LiveOut[b.ID].ForEach(func(r int) { live[ir.RegID(r)] = true })
 		for k := len(b.Instrs) - 1; k >= 0; k-- {
 			instr := b.Instrs[k]
 			if instr.HasDst() {
@@ -147,19 +91,14 @@ func Allocate(f *ir.Function) *Result {
 					}
 				}
 			}
-			if len(live) > maxLive {
-				maxLive = len(live)
-			}
 		}
 	}
-	for r := range liveIn[0] {
-		everLive[r] = true
-	}
+	info.LiveIn[f.Entry().ID].ForEach(func(r int) { everLive[r] = true })
 	for _, p := range f.Params {
 		everLive[p] = true
 	}
 
-	return color(n, adj, everLive, maxLive)
+	return color(n, adj, everLive, info.MaxLive)
 }
 
 // color runs smallest-last simplify ordering and greedy select,
@@ -228,18 +167,6 @@ func color(n int, adj []map[ir.RegID]bool, everLive []bool, maxLive int) *Result
 		}
 	}
 	return res
-}
-
-func sameSet(a, b map[ir.RegID]bool) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for r := range a {
-		if !b[r] {
-			return false
-		}
-	}
-	return true
 }
 
 // AllocateProgram colors every function and returns results keyed by

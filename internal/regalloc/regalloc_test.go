@@ -1,10 +1,11 @@
-package regalloc
+package regalloc_test
 
 import (
 	"testing"
 
 	"repro/internal/ir"
 	"repro/internal/pipeline"
+	"repro/internal/regalloc"
 )
 
 // straightLine builds r0=1; r1=2; r2=r0+r1; print r2; ret — r0 and r1
@@ -20,7 +21,7 @@ func TestStraightLineInterference(t *testing.T) {
 	b.Append(ir.NewInstr(ir.OpPrint, ir.NoReg, ir.RegVal(r2)))
 	b.Append(ir.NewInstr(ir.OpRet, ir.NoReg))
 
-	res := Allocate(f)
+	res := regalloc.Allocate(f)
 	if res.Colors != 2 {
 		t.Errorf("colors = %d, want 2", res.Colors)
 	}
@@ -43,7 +44,7 @@ func TestCopyDoesNotInterfere(t *testing.T) {
 	b.Append(ir.NewInstr(ir.OpPrint, ir.NoReg, ir.RegVal(d)))
 	b.Append(ir.NewInstr(ir.OpRet, ir.NoReg))
 
-	res := Allocate(f)
+	res := regalloc.Allocate(f)
 	if res.Colors != 1 {
 		t.Errorf("colors = %d, want 1 (copy-related values coalesce)", res.Colors)
 	}
@@ -61,7 +62,7 @@ func TestDisjointLiveRangesShareColors(t *testing.T) {
 	blk.Append(ir.NewInstr(ir.OpPrint, ir.NoReg, ir.RegVal(bb)))
 	blk.Append(ir.NewInstr(ir.OpRet, ir.NoReg))
 
-	res := Allocate(f)
+	res := regalloc.Allocate(f)
 	if res.Colors != 1 {
 		t.Errorf("colors = %d, want 1", res.Colors)
 	}
@@ -90,7 +91,7 @@ func TestLoopCarriedLiveness(t *testing.T) {
 	exit.Append(ir.NewInstr(ir.OpPrint, ir.NoReg, ir.RegVal(acc)))
 	exit.Append(ir.NewInstr(ir.OpRet, ir.NoReg))
 
-	res := Allocate(f)
+	res := regalloc.Allocate(f)
 	// n and acc are simultaneously live through the loop.
 	if res.Assignment[n] == res.Assignment[acc] {
 		t.Error("n and acc interfere but share a color")
@@ -114,7 +115,7 @@ void main() {
 		t.Fatal(err)
 	}
 	for _, f := range out.Prog.Funcs {
-		res := Allocate(f)
+		res := regalloc.Allocate(f)
 		if res.Colors < res.MaxLive {
 			t.Errorf("%s: colors %d < maxlive %d (impossible)", f.Name, res.Colors, res.MaxLive)
 		}
@@ -142,8 +143,8 @@ void main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := Allocate(unpromoted.Prog.Func("main"))
-	after := Allocate(promoted.Prog.Func("main"))
+	before := regalloc.Allocate(unpromoted.Prog.Func("main"))
+	after := regalloc.Allocate(promoted.Prog.Func("main"))
 	if after.Colors <= before.Colors {
 		t.Errorf("promotion should raise pressure: before %d colors, after %d",
 			before.Colors, after.Colors)
@@ -159,7 +160,7 @@ void main() { zebra(); apple(); }`, pipeline.Options{SkipMeasurement: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, names := AllocateProgram(out.Prog)
+	_, names := regalloc.AllocateProgram(out.Prog)
 	want := []string{"apple", "main", "zebra"}
 	if len(names) != 3 {
 		t.Fatalf("names = %v", names)

@@ -1,0 +1,119 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pipeline"
+	"repro/internal/regalloc"
+	"repro/internal/workload"
+)
+
+// PressureRow is one row of the pressure-aware promotion table: the
+// Table-3-style color counts of one routine under no promotion, under
+// unrestricted promotion, and under the accepted pressure-capped
+// configuration, plus what the cap search did to get there.
+type PressureRow struct {
+	Benchmark string `json:"benchmark"`
+	Routine   string `json:"routine"`
+	// BaselineColors is the color count with no promotion at all.
+	BaselineColors int `json:"baseline_colors"`
+	// UncappedColors is the color count after unrestricted promotion.
+	UncappedColors int `json:"uncapped_colors"`
+	// CappedColors is the color count of the accepted configuration;
+	// guaranteed <= EffectiveCap.
+	CappedColors int `json:"capped_colors"`
+	// Cap is the requested cap; EffectiveCap is max(Cap, baseline).
+	Cap          int `json:"cap"`
+	EffectiveCap int `json:"effective_cap"`
+	// BudgetUsed is the accepted per-block budget (0 = uncapped
+	// promotion already fit, -1 = promotion skipped entirely).
+	BudgetUsed int `json:"budget_used"`
+	// Trials counts the clone trials the cap search ran.
+	Trials int `json:"trials"`
+	// Web counts of the accepted configuration.
+	WebsPromoted int `json:"webs_promoted"`
+	WebsLoadOnly int `json:"webs_load_only"`
+	WebsDemoted  int `json:"webs_demoted"`
+}
+
+// PressureTable runs the suite (plus any extra workloads, e.g. a
+// generated corpus) under pressure-aware promotion with the given cap
+// and reports one row per routine the cap search had to think about:
+// routines where promotion touched a web, demoted one, or was skipped.
+//
+// Each program's final IR is re-colored here, independently of the
+// pipeline, and checked against both the recorded CappedColors and the
+// EffectiveCap — the end-to-end verification that the guarantee the
+// pipeline reports is true of the program it actually emitted. A
+// mismatch is an error, not a row.
+func PressureTable(opts Options, cap int, extra []workload.Workload) ([]PressureRow, error) {
+	if cap <= 0 {
+		return nil, fmt.Errorf("pressure table: cap must be positive, got %d", cap)
+	}
+	var rows []PressureRow
+	suite := append(append([]workload.Workload{}, workload.Suite()...), extra...)
+	for _, w := range suite {
+		popts := opts.pipeline(true)
+		popts.PressureCap = cap
+		out, err := pipeline.Run(w.Src, popts)
+		if err != nil {
+			return nil, fmt.Errorf("pressure table %s: %w", w.Name, err)
+		}
+		results, names := regalloc.AllocateProgram(out.Prog)
+		for _, fn := range names {
+			pres := out.Pressure[fn]
+			if pres == nil {
+				continue // degraded, or never ran the SSA promoter
+			}
+			got := results[fn]
+			if got == nil {
+				continue
+			}
+			if got.Colors != pres.FinalColors {
+				return nil, fmt.Errorf("pressure table %s/%s: recorded %d colors but re-coloring the emitted IR needs %d",
+					w.Name, fn, pres.FinalColors, got.Colors)
+			}
+			if got.Colors > pres.EffectiveCap {
+				return nil, fmt.Errorf("pressure table %s/%s: %d colors exceeds effective cap %d",
+					w.Name, fn, got.Colors, pres.EffectiveCap)
+			}
+			if pres.Stats.WebsPromoted+pres.Stats.WebsLoadOnly+pres.Stats.WebsDemoted == 0 && pres.BudgetUsed == 0 {
+				continue // nothing promoted and the cap never bound
+			}
+			rows = append(rows, PressureRow{
+				Benchmark:      w.Name,
+				Routine:        fn,
+				BaselineColors: pres.BaselineColors,
+				UncappedColors: pres.UncappedColors,
+				CappedColors:   pres.FinalColors,
+				Cap:            pres.Cap,
+				EffectiveCap:   pres.EffectiveCap,
+				BudgetUsed:     pres.BudgetUsed,
+				Trials:         pres.Trials,
+				WebsPromoted:   pres.Stats.WebsPromoted,
+				WebsLoadOnly:   pres.Stats.WebsLoadOnly,
+				WebsDemoted:    pres.Stats.WebsDemoted,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatPressureTable renders the pressure table in the Table 3 layout
+// extended with the cap-search columns.
+func FormatPressureTable(rows []PressureRow, cap int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Pressure-aware promotion: colors vs no-cap baseline (cap %d)\n", cap)
+	fmt.Fprintf(&sb, "%-12s %-16s %8s %8s %8s %8s %8s %6s %6s %6s\n",
+		"benchmark", "routine", "base", "uncapped", "capped", "effcap", "budget", "prom", "ldonly", "demot")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %-16s %8d %8d %8d %8d %8d %6d %6d %6d\n",
+			r.Benchmark, r.Routine, r.BaselineColors, r.UncappedColors, r.CappedColors,
+			r.EffectiveCap, r.BudgetUsed, r.WebsPromoted, r.WebsLoadOnly, r.WebsDemoted)
+	}
+	if len(rows) == 0 {
+		sb.WriteString("(no routines with promotion opportunities)\n")
+	}
+	return sb.String()
+}

@@ -141,16 +141,36 @@ func clientKey(r *http.Request) string {
 	return stripPort(r.RemoteAddr)
 }
 
-// stripPort removes one trailing ":<digits>" suffix from an address
-// net.SplitHostPort could not parse (an unbracketed IPv6 address with
-// a port, say). Without it the raw address — ephemeral port included —
-// became the bucket key, handing every new connection a fresh bucket
-// and making the limit trivially avoidable by reconnecting. The
-// stripped form is stable per host, which is what bucketing needs;
-// exact host parsing is not required.
+// stripPort reduces an address net.SplitHostPort could not parse to a
+// per-host bucket key. Without it the raw address — ephemeral port
+// included — became the bucket key, handing every new connection a
+// fresh bucket and making the limit trivially avoidable by
+// reconnecting. The stripped form is stable per host, which is what
+// bucketing needs; exact host parsing is not required.
+//
+// Three shapes matter:
+//   - "[::1]:8080", "[fe80::1%eth0]" — bracketed IPv6 (with or without
+//     a port, with or without a zone): the key is the content of the
+//     brackets, matching what SplitHostPort returns for the same host
+//     so both code paths agree on the bucket.
+//   - "10.0.0.1:8080", "host:123", "::1:40001" — a trailing ":<digits>"
+//     run is treated as a port and stripped. For unbracketed IPv6 this
+//     is ambiguous (the digits could be address bits), but the key only
+//     needs to be stable per host, and stripping is what keeps
+//     reconnects with fresh ephemeral ports in one bucket.
+//   - "::1", "fe80::2" — portless IPv6 where the candidate "port" sits
+//     right after a double colon: stripping would leave a prefix ending
+//     in ":", so the address is returned unchanged. (The old heuristic
+//     mangled these: "::1" became ":".)
 func stripPort(addr string) string {
+	if strings.HasPrefix(addr, "[") {
+		if end := strings.IndexByte(addr, ']'); end > 0 {
+			return addr[1:end]
+		}
+		return addr
+	}
 	i := strings.LastIndexByte(addr, ':')
-	if i <= 0 || i == len(addr)-1 {
+	if i <= 0 || i == len(addr)-1 || addr[i-1] == ':' {
 		return addr
 	}
 	for _, ch := range addr[i+1:] {

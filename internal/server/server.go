@@ -51,6 +51,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/diskcache"
 	"repro/internal/faults"
 	"repro/internal/interp"
@@ -274,6 +275,9 @@ type RequestOptions struct {
 	WholeFunctionScope bool `json:"whole_function_scope,omitempty"`
 	// MaxPromotedWebs caps promotions per function (0 = unlimited).
 	MaxPromotedWebs int `json:"max_promoted_webs,omitempty"`
+	// PressureCap, when positive, promotes under a hard register-
+	// pressure cap (see pipeline.Options.PressureCap).
+	PressureCap int `json:"pressure_cap,omitempty"`
 	// SkipMeasurement skips the before/after interpreter runs.
 	SkipMeasurement bool `json:"skip_measurement,omitempty"`
 	// MaxSteps caps interpreter steps for this request; clamped to the
@@ -300,6 +304,7 @@ type resolvedOptions struct {
 	PaperProfitFormula bool   `json:"paper_profit_formula"`
 	WholeFunctionScope bool   `json:"whole_function_scope"`
 	MaxPromotedWebs    int    `json:"max_promoted_webs"`
+	PressureCap        int    `json:"pressure_cap"`
 	SkipMeasurement    bool   `json:"skip_measurement"`
 	MaxSteps           int64  `json:"max_steps"`
 	TimeoutMS          int64  `json:"timeout_ms"`
@@ -354,6 +359,10 @@ func (s *Server) resolve(ro RequestOptions) (resolvedOptions, pipeline.Options, 
 		return res, popts, &badRequestError{&pipeline.OptionError{Field: "MaxPromotedWebs", Value: ro.MaxPromotedWebs,
 			Reason: "must be >= 0 (0 = unlimited)"}}
 	}
+	if ro.PressureCap < 0 {
+		return res, popts, &badRequestError{&pipeline.OptionError{Field: "PressureCap", Value: ro.PressureCap,
+			Reason: "must be >= 0 (0 = no pressure cap)"}}
+	}
 	res.MaxSteps = ro.MaxSteps
 	if res.MaxSteps == 0 || res.MaxSteps > s.cfg.MaxSteps {
 		res.MaxSteps = s.cfg.MaxSteps
@@ -368,6 +377,7 @@ func (s *Server) resolve(ro RequestOptions) (resolvedOptions, pipeline.Options, 
 	res.PaperProfitFormula = ro.PaperProfitFormula
 	res.WholeFunctionScope = ro.WholeFunctionScope
 	res.MaxPromotedWebs = ro.MaxPromotedWebs
+	res.PressureCap = ro.PressureCap
 	res.SkipMeasurement = ro.SkipMeasurement
 	res.Fault = ro.Fault
 
@@ -380,6 +390,7 @@ func (s *Server) resolve(ro RequestOptions) (resolvedOptions, pipeline.Options, 
 		PaperProfitFormula: res.PaperProfitFormula,
 		WholeFunctionScope: res.WholeFunctionScope,
 		MaxPromotedWebs:    res.MaxPromotedWebs,
+		PressureCap:        res.PressureCap,
 		SkipMeasurement:    res.SkipMeasurement,
 		Interp: interp.Options{
 			MaxSteps: res.MaxSteps,
@@ -601,6 +612,11 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		s.testHook()
 	}
 
+	// Attach a per-request analysis cache so the run's fresh-build
+	// counts can be folded into /metrics after it completes.
+	acache := analysis.New()
+	popts.AnalysisCache = acache
+
 	pipeStart := time.Now()
 	out, pipeErr := pipeline.Run(req.Source, popts)
 	pipeWall := time.Since(pipeStart)
@@ -613,6 +629,7 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.pipelineNS.Add(int64(pipeWall))
 	s.m.recordStages(out.Timings)
+	s.m.recordAnalysis(acache)
 	s.m.degradedFuncs.Add(int64(len(out.Degraded)))
 
 	outcomeJSON, err := json.Marshal(report.EncodeOutcome(out))
