@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 BATCH ?= 32
 JOBS ?= $(shell nproc 2>/dev/null || echo 4)
 
-.PHONY: build test vet race test-par lint fuzz-smoke bench-par bench-hot bench-bytecode bench-smoke bench-pressure pressure-smoke serve-smoke bench-serve chaos-smoke ci
+.PHONY: build test vet race test-par lint fuzz-smoke bench-par bench-hot bench-bytecode bench-smoke bench-pressure pressure-smoke serve-smoke bench-serve chaos-smoke cluster-smoke bench-cluster ci
 
 build:
 	$(GO) build ./...
@@ -121,4 +121,19 @@ bench-serve:
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
 
-ci: vet lint race test-par bench-smoke pressure-smoke fuzz-smoke serve-smoke chaos-smoke
+# Cluster drill: rprouter + 2 replicas; a Zipf hot-key profile must
+# produce collapsed singleflight waits through the router, a replica
+# kill -9 mid-run must cost zero failed requests, and a SIGTERM under
+# load must drain cleanly.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
+# Cluster experiment: single node vs 4-replica consistent-hash cluster
+# (steady and slot-bound capacity profiles), hedged vs unhedged tails
+# over a degraded replica, and a kill -9 rebalance drill. Asserts the
+# >=3x capacity scale-out, the p99 bound, and the hedging win; writes
+# BENCH_cluster.json.
+bench-cluster:
+	sh scripts/bench_cluster.sh
+
+ci: vet lint race test-par bench-smoke pressure-smoke fuzz-smoke serve-smoke chaos-smoke cluster-smoke

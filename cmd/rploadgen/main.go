@@ -14,6 +14,15 @@
 //
 //	rploadgen -addr 127.0.0.1:8080 -n 512 -c 8 -unique 8 -size small
 //	rploadgen -addr $(cat rpserved.port) -n 64 -qps 100 -json BENCH_serve.json
+//	rploadgen -addr $(cat rprouter.port) -profile hotkey -c 16
+//	rploadgen -addr ... -profile spike -qps 300 -duration 60s   # soak
+//
+// Declarative traffic profiles (-profile, or a JSON file via
+// -profile-file) bundle a request count, corpus size, Zipf mix skew
+// (-zipf-s), a rate shape (-shape steady|ramp|spike|diurnal), and
+// optional SLO ceilings (p99, error rate) that turn the run into a
+// pass/fail experiment. Explicit flags override profile fields;
+// -duration switches to soak mode, sized by the shape's average rate.
 //
 // A 429 (backpressure or rate limiting) is retried up to -retries times,
 // honoring the server's Retry-After hint with client-side jitter, capped
@@ -67,9 +76,70 @@ func main() {
 		retryMaxWait = flag.Duration("retry-max-wait", 5*time.Second, "cap on a single Retry-After backoff")
 		outcomesPath = flag.String("outcomes", "", "write the per-program outcome SHA-256 map to this file")
 		minDiskHits  = flag.Int("min-disk-hits", 0, "fail unless at least this many responses came from the disk tier")
+
+		profileName  = flag.String("profile", "", "builtin traffic profile: steady, ramp, spike, diurnal, or hotkey")
+		profileFile  = flag.String("profile-file", "", "JSON traffic profile file (overrides -profile)")
+		shape        = flag.String("shape", "", "rate curve when pacing: steady, ramp, spike, or diurnal")
+		zipfS        = flag.Float64("zipf-s", 0, "Zipf skew for the request mix (0 = uniform)")
+		baseQPS      = flag.Float64("base-qps", 0, "off-peak rate for shaped pacing (0 = qps/4)")
+		duration     = flag.Duration("duration", 0, "soak mode: run this long at the shape's average rate instead of -n requests")
+		minCollapsed = flag.Int("min-collapsed", 0, "fail unless at least this many responses were collapsed singleflight waits")
+		clientID     = flag.String("client-id", "", "X-Client-ID header value (tenant identity at the router)")
+		note         = flag.String("note", "", "free-form annotation recorded in the JSON record")
 	)
 	flag.Parse()
 
+	// The effective profile: an explicit -profile/-profile-file supplies
+	// defaults; flags the caller set on the command line override it.
+	// Without a profile the flags alone describe an ad-hoc one.
+	setFlags := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	prof := workload.Profile{
+		Name: "adhoc", Requests: *n, Unique: *unique, Size: *size,
+		Shape: *shape, QPS: *qps, BaseQPS: *baseQPS, ZipfS: *zipfS,
+		DurationS: duration.Seconds(),
+	}
+	if *profileName != "" || *profileFile != "" {
+		var err error
+		if *profileFile != "" {
+			prof, err = workload.LoadProfile(*profileFile)
+		} else {
+			prof, err = workload.LookupProfile(*profileName)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if setFlags["n"] {
+			prof.Requests = *n
+		}
+		if setFlags["unique"] {
+			prof.Unique = *unique
+		}
+		if setFlags["size"] {
+			prof.Size = *size
+		}
+		if setFlags["shape"] {
+			prof.Shape = *shape
+		}
+		if setFlags["qps"] {
+			prof.QPS = *qps
+		}
+		if setFlags["base-qps"] {
+			prof.BaseQPS = *baseQPS
+		}
+		if setFlags["zipf-s"] {
+			prof.ZipfS = *zipfS
+		}
+		if setFlags["duration"] {
+			prof.DurationS = duration.Seconds()
+		}
+	}
+	if err := prof.Validate(); err != nil {
+		fatal(err)
+	}
+	*n = prof.EffectiveRequests()
+	*unique = prof.Unique
+	*size = prof.Size
 	if *n < 1 || *conc < 1 {
 		fatal(fmt.Errorf("need -n >= 1 and -c >= 1"))
 	}
@@ -91,19 +161,9 @@ func main() {
 		}
 		bodies[i] = body
 	}
-	mix := workload.MixIndexes(*seed, *n, *unique)
+	mix := prof.Mix(*seed, *n)
 	url := "http://" + strings.TrimPrefix(*addr, "http://") + "/v1/promote"
 	client := &http.Client{Timeout: *timeout}
-
-	// Optional QPS pacing: one shared ticker feeds all clients, so the
-	// aggregate rate is bounded while per-request assignment stays
-	// deterministic (request i always carries program mix[i]).
-	var pace <-chan time.Time
-	if *qps > 0 {
-		t := time.NewTicker(time.Duration(float64(time.Second) / *qps))
-		defer t.Stop()
-		pace = t.C
-	}
 
 	type result struct {
 		program   int
@@ -127,13 +187,19 @@ func main() {
 			// no lock contention across workers.
 			rng := rand.New(rand.NewSource(*seed + int64(worker)))
 			for i := range jobs {
-				if pace != nil {
-					<-pace
-				}
 				r := result{program: mix[i]}
 				for attempt := 0; ; attempt++ {
+					req, rerr := http.NewRequest(http.MethodPost, url, bytes.NewReader(bodies[r.program]))
+					if rerr != nil {
+						r.transport = rerr
+						break
+					}
+					req.Header.Set("Content-Type", "application/json")
+					if *clientID != "" {
+						req.Header.Set("X-Client-ID", *clientID)
+					}
 					t0 := time.Now()
-					resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[r.program]))
+					resp, err := client.Do(req)
 					r.latency = time.Since(t0)
 					if err != nil {
 						r.transport = err
@@ -177,7 +243,24 @@ func main() {
 			}
 		}(c)
 	}
+	// Dispatcher-side pacing: request i is released at an absolute
+	// schedule accumulated from the profile's rate curve, so ramps,
+	// spikes, and diurnal swings come out as wall-clock rate changes
+	// while per-request program assignment stays deterministic (request
+	// i always carries program mix[i]). Unpaced profiles release as
+	// fast as the workers drain.
+	next := time.Now()
 	for i := 0; i < *n; i++ {
+		frac := 0.0
+		if *n > 1 {
+			frac = float64(i) / float64(*n-1)
+		}
+		if rate := prof.RateAt(frac); rate > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(time.Duration(float64(time.Second) / rate))
+		}
 		jobs <- i
 	}
 	close(jobs)
@@ -256,10 +339,33 @@ func main() {
 		// cache: memory hit, disk hit, or a collapsed singleflight wait.
 		hitRate = float64(hits+diskHits+collapsed) / float64(ok)
 	}
+	// Error rate for the SLO: everything the client could not turn into
+	// a served response — 5xx, transport failures, timeouts, and 429s
+	// that exhausted the retry budget. Plain 429s that retried into a
+	// 200 are backpressure working, not errors.
+	errorRate := float64(serverErrs+transportErrs+timeouts+gaveUp+clientErrs) / float64(*n)
+	sloOK := true
+	var sloViolations []string
+	if prof.SLO.P99MS > 0 && ms(pct(0.99)) > prof.SLO.P99MS {
+		sloOK = false
+		sloViolations = append(sloViolations,
+			fmt.Sprintf("p99 %.1fms > ceiling %.1fms", ms(pct(0.99)), prof.SLO.P99MS))
+	}
+	if prof.SLO.MaxErrorRate > 0 && errorRate > prof.SLO.MaxErrorRate {
+		sloOK = false
+		sloViolations = append(sloViolations,
+			fmt.Sprintf("error rate %.4f > ceiling %.4f", errorRate, prof.SLO.MaxErrorRate))
+	}
 
-	fmt.Printf("rploadgen: %d requests (%d programs, seed %d, size %s), -c %d", *n, *unique, *seed, *size, *conc)
-	if *qps > 0 {
-		fmt.Printf(", target %.0f qps", *qps)
+	fmt.Printf("rploadgen: %d requests (%d programs, seed %d, size %s), -c %d, profile %s", *n, *unique, *seed, *size, *conc, prof.Name)
+	if prof.Shape != "" && prof.Shape != "steady" {
+		fmt.Printf(", shape %s", prof.Shape)
+	}
+	if prof.ZipfS > 0 {
+		fmt.Printf(", zipf %.2f", prof.ZipfS)
+	}
+	if prof.QPS > 0 {
+		fmt.Printf(", peak %.0f qps", prof.QPS)
 	}
 	fmt.Println()
 	fmt.Printf("elapsed %v  throughput %.1f req/s  ok %d  rejected %d  timeouts %d  client-err %d  server-err %d  transport-err %d\n",
@@ -271,17 +377,29 @@ func main() {
 	fmt.Printf("cache: %d memory, %d disk, %d collapsed, %d misses (hit rate %.1f%%)  outcome mismatches: %d\n",
 		hits, diskHits, collapsed, misses, hitRate*100, mismatches)
 
+	if len(sloViolations) > 0 {
+		fmt.Printf("SLO violated: %s\n", strings.Join(sloViolations, "; "))
+	}
+
 	if *jsonPath != "" {
 		rec := serveRecord{
 			SchemaVersion:     report.SchemaVersion,
 			Addr:              *addr,
 			Requests:          *n,
 			Concurrency:       *conc,
-			TargetQPS:         *qps,
+			TargetQPS:         prof.QPS,
 			Unique:            *unique,
 			Seed:              *seed,
 			Size:              *size,
 			Check:             *check,
+			Profile:           prof.Name,
+			Shape:             prof.Shape,
+			ZipfS:             prof.ZipfS,
+			BaseQPS:           prof.BaseQPS,
+			DurationS:         prof.DurationS,
+			ErrorRate:         errorRate,
+			SLOOK:             sloOK,
+			Note:              *note,
 			ElapsedMS:         float64(elapsed.Microseconds()) / 1000,
 			ThroughputRPS:     throughput,
 			P50MS:             ms(pct(0.50)),
@@ -342,6 +460,12 @@ func main() {
 	if diskHits < *minDiskHits {
 		fatal(fmt.Errorf("only %d disk-tier hits, need %d (cold tier did not survive)", diskHits, *minDiskHits))
 	}
+	if collapsed < *minCollapsed {
+		fatal(fmt.Errorf("only %d collapsed singleflight waits, need %d (concurrent identical misses did not collapse)", collapsed, *minCollapsed))
+	}
+	if !sloOK {
+		fatal(fmt.Errorf("SLO violated: %s", strings.Join(sloViolations, "; ")))
+	}
 }
 
 // retryAfter parses a Retry-After header in whole seconds; a missing or
@@ -365,6 +489,14 @@ type serveRecord struct {
 	Seed              int64   `json:"seed"`
 	Size              string  `json:"size"`
 	Check             string  `json:"check"`
+	Profile           string  `json:"profile,omitempty"`
+	Shape             string  `json:"shape,omitempty"`
+	ZipfS             float64 `json:"zipf_s,omitempty"`
+	BaseQPS           float64 `json:"base_qps,omitempty"`
+	DurationS         float64 `json:"duration_s,omitempty"`
+	ErrorRate         float64 `json:"error_rate"`
+	SLOOK             bool    `json:"slo_ok"`
+	Note              string  `json:"note,omitempty"`
 	ElapsedMS         float64 `json:"elapsed_ms"`
 	ThroughputRPS     float64 `json:"throughput_rps"`
 	P50MS             float64 `json:"p50_ms"`

@@ -1,0 +1,106 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// ErrReplicaDown is the sentinel wrapped by every blackout-injected
+// transport failure, so router code and tests can tell a synthetic
+// replica loss from a real network error with errors.Is.
+var ErrReplicaDown = errors.New("faults: injected replica blackout")
+
+// ReplicaBlackout is a deterministic transport-level fault injector:
+// an http.RoundTripper wrapper that fails every request to a blacked-
+// out host the way a kill -9'd replica would — the connection attempt
+// errors, no bytes flow. Router tests use it to drive replica loss,
+// rebalancing, and recovery without real processes, and with exact
+// control over *when* in the request sequence the loss happens
+// (DownAfter), which a real kill cannot give.
+//
+// Hosts are matched on the request URL's Host (host:port). The zero
+// value is not usable; call NewReplicaBlackout.
+type ReplicaBlackout struct {
+	inner http.RoundTripper
+
+	mu    sync.Mutex
+	down  map[string]bool
+	after map[string]int // remaining requests until the host goes down
+	seen  map[string]int // requests observed per host (diagnostics)
+}
+
+// NewReplicaBlackout wraps inner (nil = http.DefaultTransport).
+func NewReplicaBlackout(inner http.RoundTripper) *ReplicaBlackout {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &ReplicaBlackout{
+		inner: inner,
+		down:  make(map[string]bool),
+		after: make(map[string]int),
+		seen:  make(map[string]int),
+	}
+}
+
+// Down blacks out host immediately: every subsequent request to it
+// fails with ErrReplicaDown until Up.
+func (b *ReplicaBlackout) Down(host string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.down[host] = true
+	delete(b.after, host)
+}
+
+// Up restores host.
+func (b *ReplicaBlackout) Up(host string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.down, host)
+	delete(b.after, host)
+}
+
+// DownAfter arms a countdown: the next n requests to host succeed,
+// then the host goes down — mid-run replica loss at a deterministic
+// point in the request sequence.
+func (b *ReplicaBlackout) DownAfter(host string, n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n <= 0 {
+		b.down[host] = true
+		return
+	}
+	b.after[host] = n
+}
+
+// Requests reports how many requests (allowed or failed) targeted host.
+func (b *ReplicaBlackout) Requests(host string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seen[host]
+}
+
+// RoundTrip implements http.RoundTripper.
+func (b *ReplicaBlackout) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	b.mu.Lock()
+	b.seen[host]++
+	dead := b.down[host]
+	if n, armed := b.after[host]; armed && !dead {
+		// This request is one of the allowed n; the blackout takes
+		// effect on the request after the countdown empties.
+		n--
+		if n <= 0 {
+			delete(b.after, host)
+			b.down[host] = true
+		} else {
+			b.after[host] = n
+		}
+	}
+	b.mu.Unlock()
+	if dead {
+		return nil, fmt.Errorf("dial tcp %s: %w", host, ErrReplicaDown)
+	}
+	return b.inner.RoundTrip(req)
+}

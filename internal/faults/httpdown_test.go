@@ -1,0 +1,54 @@
+package faults
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestReplicaBlackoutDownUp(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	host := ts.Listener.Addr().String()
+
+	b := NewReplicaBlackout(nil)
+	client := &http.Client{Transport: b}
+
+	if _, err := client.Get(ts.URL); err != nil {
+		t.Fatalf("healthy request: %v", err)
+	}
+	b.Down(host)
+	if _, err := client.Get(ts.URL); !errors.Is(err, ErrReplicaDown) {
+		t.Fatalf("blacked-out request: err = %v, want ErrReplicaDown", err)
+	}
+	b.Up(host)
+	if _, err := client.Get(ts.URL); err != nil {
+		t.Fatalf("restored request: %v", err)
+	}
+	if got := b.Requests(host); got != 3 {
+		t.Fatalf("Requests = %d, want 3", got)
+	}
+}
+
+func TestReplicaBlackoutDownAfter(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	host := ts.Listener.Addr().String()
+
+	b := NewReplicaBlackout(nil)
+	client := &http.Client{Transport: b}
+	b.DownAfter(host, 2)
+
+	// Exactly two requests succeed, then the host is dead.
+	for i := 0; i < 2; i++ {
+		if _, err := client.Get(ts.URL); err != nil {
+			t.Fatalf("request %d within countdown: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := client.Get(ts.URL); !errors.Is(err, ErrReplicaDown) {
+			t.Fatalf("request after countdown: err = %v, want ErrReplicaDown", err)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package histo is a fixed-bucket latency histogram in the Prometheus
+// cumulative-bucket exposition shape, shared by the promotion server
+// and the cluster router.
+//
+// One type serves three roles:
+//
+//   - recording: Observe is a lock-free atomic add on the request path;
+//   - exposition: WritePrometheus renders the classic
+//     name_bucket{le="..."} / name_sum / name_count triple;
+//   - consumption: ParsePrometheus reads that same triple back out of a
+//     scraped /metrics body, which is how the router derives its
+//     hedging delay from the p95 its replicas actually serve instead of
+//     a hardcoded guess.
+//
+// Buckets are fixed at construction. Quantiles are estimated by linear
+// interpolation inside the covering bucket — exact enough for "fire the
+// hedge near p95", which only needs the right order of magnitude.
+package histo
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBuckets are the latency bucket upper bounds in seconds used by
+// both rpserved and rprouter: 500µs to 10s, roughly 2-2.5× apart, dense
+// where loopback serving actually lands. Sharing one layout means a
+// scraped replica histogram and the router's own histogram are
+// mergeable bucket-for-bucket.
+func DefaultBuckets() []float64 {
+	return []float64{
+		0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// Histogram is a concurrency-safe fixed-bucket histogram. The zero
+// value is not usable; call New.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Int64 // len(bounds)+1, per-bucket (cumulated only at render time)
+	sumNS  atomic.Int64
+	n      atomic.Int64
+}
+
+// New builds a histogram over the given ascending upper bounds in
+// seconds. Nil or empty bounds fall back to DefaultBuckets.
+func New(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets()
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{
+		bounds: b,
+		counts: make([]atomic.Int64, len(b)+1),
+	}
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s) // first bound >= s → its bucket
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.n.Add(1)
+}
+
+// Snapshot returns a consistent-enough copy for rendering and quantile
+// estimation. (Counts are read individually; a snapshot taken under
+// load may be off by in-flight observations, which is the standard
+// Prometheus exposition contract.)
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.SumSeconds = time.Duration(h.sumNS.Load()).Seconds()
+	s.Count = h.n.Load()
+	return s
+}
+
+// Snapshot is an immutable view of a histogram: per-bucket
+// (non-cumulative) counts aligned with Bounds, plus the +Inf bucket at
+// Counts[len(Bounds)].
+type Snapshot struct {
+	Bounds     []float64
+	Counts     []int64
+	SumSeconds float64
+	Count      int64
+}
+
+// Quantile estimates the q-th latency quantile in seconds (q in
+// [0, 1]) by linear interpolation within the covering bucket. An empty
+// snapshot returns 0. Samples in the +Inf bucket are attributed to the
+// last finite bound — a floor, never an invented ceiling.
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	cum := float64(0)
+	for i, c := range s.Counts {
+		if float64(c)+cum < target || c == 0 {
+			cum += float64(c)
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: no upper bound to interpolate toward.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		hi := s.Bounds[i]
+		frac := (target - cum) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Merge adds other's samples into a copy of s. Both snapshots must use
+// identical bounds; mismatched layouts return an error rather than a
+// silently wrong histogram.
+func (s Snapshot) Merge(other Snapshot) (Snapshot, error) {
+	if other.Count == 0 {
+		return s, nil
+	}
+	if s.Count == 0 {
+		return other, nil
+	}
+	if len(s.Bounds) != len(other.Bounds) {
+		return Snapshot{}, fmt.Errorf("histo: merge: %d vs %d buckets", len(s.Bounds), len(other.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != other.Bounds[i] {
+			return Snapshot{}, fmt.Errorf("histo: merge: bound %d differs (%g vs %g)", i, s.Bounds[i], other.Bounds[i])
+		}
+	}
+	out := Snapshot{
+		Bounds:     append([]float64(nil), s.Bounds...),
+		Counts:     append([]int64(nil), s.Counts...),
+		SumSeconds: s.SumSeconds + other.SumSeconds,
+		Count:      s.Count + other.Count,
+	}
+	for i, c := range other.Counts {
+		out.Counts[i] += c
+	}
+	return out, nil
+}
+
+// WritePrometheus renders the snapshot as a Prometheus histogram named
+// name. labels, when non-empty, is a preformatted label body without
+// braces (`replica="a"`) merged into every series alongside le.
+func (s Snapshot) WritePrometheus(w io.Writer, name, help, labels string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := int64(0)
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatBound(b), cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, s.SumSeconds, name, s.Count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, s.SumSeconds, name, labels, s.Count)
+	}
+}
+
+// formatBound renders a bucket bound the way Prometheus clients
+// conventionally do: shortest round-trip decimal.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// ParsePrometheus extracts the histogram series called name from a
+// Prometheus text exposition body. Series are matched on the metric
+// name alone; when the body carries several label sets for the name
+// (one per replica, say), their buckets are summed — the caller gets
+// the aggregate distribution. Returns an error when the name is absent
+// or its bucket lines are malformed.
+func ParsePrometheus(body []byte, name string) (Snapshot, error) {
+	type acc struct {
+		byBound map[float64]int64 // cumulative values per le
+		inf     int64
+		sum     float64
+		count   int64
+		seen    bool
+	}
+	a := acc{byBound: make(map[float64]int64)}
+
+	bucketPrefix := name + "_bucket{"
+	sumPrefix := name + "_sum"
+	countPrefix := name + "_count"
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, bucketPrefix):
+			le, val, err := parseBucketLine(line)
+			if err != nil {
+				return Snapshot{}, fmt.Errorf("histo: parse %s: %w", name, err)
+			}
+			a.seen = true
+			if math.IsInf(le, +1) {
+				a.inf += val
+			} else {
+				a.byBound[le] += val
+			}
+		case strings.HasPrefix(line, sumPrefix):
+			v, err := trailingFloat(line)
+			if err != nil {
+				return Snapshot{}, fmt.Errorf("histo: parse %s_sum: %w", name, err)
+			}
+			a.sum += v
+			a.seen = true
+		case strings.HasPrefix(line, countPrefix):
+			v, err := trailingFloat(line)
+			if err != nil {
+				return Snapshot{}, fmt.Errorf("histo: parse %s_count: %w", name, err)
+			}
+			a.count += int64(v)
+			a.seen = true
+		}
+	}
+	if !a.seen {
+		return Snapshot{}, fmt.Errorf("histo: metric %q not found", name)
+	}
+
+	bounds := make([]float64, 0, len(a.byBound))
+	for b := range a.byBound {
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds)
+	s := Snapshot{
+		Bounds:     bounds,
+		Counts:     make([]int64, len(bounds)+1),
+		SumSeconds: a.sum,
+		Count:      a.count,
+	}
+	// De-cumulate: exposition buckets are cumulative, Snapshot stores
+	// per-bucket counts.
+	prev := int64(0)
+	for i, b := range bounds {
+		c := a.byBound[b]
+		if c < prev {
+			return Snapshot{}, fmt.Errorf("histo: metric %q buckets not cumulative at le=%g", name, b)
+		}
+		s.Counts[i] = c - prev
+		prev = c
+	}
+	if a.inf < prev {
+		return Snapshot{}, fmt.Errorf("histo: metric %q +Inf bucket below last finite bucket", name)
+	}
+	s.Counts[len(bounds)] = a.inf - prev
+	return s, nil
+}
+
+// parseBucketLine pulls (le, value) out of one `name_bucket{...} v`
+// exposition line.
+func parseBucketLine(line string) (le float64, val int64, err error) {
+	open := strings.IndexByte(line, '{')
+	close := strings.IndexByte(line, '}')
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("malformed bucket line %q", line)
+	}
+	leStr := ""
+	for _, kv := range strings.Split(line[open+1:close], ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok || k != "le" {
+			continue
+		}
+		leStr = strings.Trim(v, `"`)
+	}
+	if leStr == "" {
+		return 0, 0, fmt.Errorf("bucket line %q has no le label", line)
+	}
+	if leStr == "+Inf" {
+		le = math.Inf(+1)
+	} else if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+		return 0, 0, fmt.Errorf("bucket bound %q: %w", leStr, err)
+	}
+	v, err := trailingFloat(line[close+1:])
+	if err != nil {
+		return 0, 0, err
+	}
+	return le, int64(v), nil
+}
+
+// trailingFloat parses the last whitespace-separated field of s as a
+// float.
+func trailingFloat(s string) (float64, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return 0, fmt.Errorf("no value field in %q", s)
+	}
+	return strconv.ParseFloat(fields[len(fields)-1], 64)
+}

@@ -1,0 +1,169 @@
+package histo
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestObserveAndQuantile(t *testing.T) {
+	h := New([]float64{0.001, 0.01, 0.1, 1})
+	// 90 fast samples, 10 slow: p50 lands in the first bucket, p99 in
+	// the 0.1–1 bucket.
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if p50 := s.Quantile(0.50); p50 <= 0 || p50 > 0.001 {
+		t.Fatalf("p50 = %g, want in (0, 0.001]", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 <= 0.1 || p99 > 1 {
+		t.Fatalf("p99 = %g, want in (0.1, 1]", p99)
+	}
+	wantSum := 90*0.0005 + 10*0.5
+	if math.Abs(s.SumSeconds-wantSum) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", s.SumSeconds, wantSum)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty Snapshot
+	if q := empty.Quantile(0.95); q != 0 {
+		t.Fatalf("empty quantile = %g, want 0", q)
+	}
+	h := New(nil)
+	// Everything beyond the last bound: quantile must floor at the last
+	// finite bound, not invent a larger number.
+	h.Observe(time.Minute)
+	last := DefaultBuckets()[len(DefaultBuckets())-1]
+	if q := h.Snapshot().Quantile(0.99); q != last {
+		t.Fatalf("overflow quantile = %g, want last bound %g", q, last)
+	}
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	h := New(nil)
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond) // 0–100ms spread
+	}
+	want := h.Snapshot()
+
+	var buf bytes.Buffer
+	want.WritePrometheus(&buf, "x_seconds", "test histogram", "")
+	got, err := ParsePrometheus(buf.Bytes(), "x_seconds")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got.Count != want.Count {
+		t.Fatalf("count: got %d, want %d", got.Count, want.Count)
+	}
+	if math.Abs(got.SumSeconds-want.SumSeconds) > 1e-9 {
+		t.Fatalf("sum: got %g, want %g", got.SumSeconds, want.SumSeconds)
+	}
+	for i := range want.Counts {
+		if got.Counts[i] != want.Counts[i] {
+			t.Fatalf("bucket %d: got %d, want %d", i, got.Counts[i], want.Counts[i])
+		}
+	}
+	// Quantiles estimated from the parsed side must match the recorded
+	// side exactly — same buckets, same interpolation.
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a, b := got.Quantile(q), want.Quantile(q); a != b {
+			t.Fatalf("q%.2f: parsed %g, recorded %g", q, a, b)
+		}
+	}
+}
+
+func TestParseAggregatesLabelSets(t *testing.T) {
+	// Two replicas' series under one name must sum into one aggregate
+	// distribution — the router's scrape path.
+	text := `
+# HELP r_seconds request latency
+# TYPE r_seconds histogram
+r_seconds_bucket{replica="a",le="0.001"} 5
+r_seconds_bucket{replica="a",le="+Inf"} 10
+r_seconds_sum{replica="a"} 0.5
+r_seconds_count{replica="a"} 10
+r_seconds_bucket{replica="b",le="0.001"} 1
+r_seconds_bucket{replica="b",le="+Inf"} 4
+r_seconds_sum{replica="b"} 0.25
+r_seconds_count{replica="b"} 4
+`
+	s, err := ParsePrometheus([]byte(text), "r_seconds")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if s.Count != 14 {
+		t.Fatalf("count = %d, want 14", s.Count)
+	}
+	if s.Counts[0] != 6 || s.Counts[1] != 8 {
+		t.Fatalf("buckets = %v, want [6 8]", s.Counts)
+	}
+	if math.Abs(s.SumSeconds-0.75) > 1e-9 {
+		t.Fatalf("sum = %g, want 0.75", s.SumSeconds)
+	}
+}
+
+func TestParseMissingMetric(t *testing.T) {
+	if _, err := ParsePrometheus([]byte("other_metric 1\n"), "r_seconds"); err == nil {
+		t.Fatal("want error for missing metric")
+	}
+}
+
+func TestMergeRejectsMismatchedBounds(t *testing.T) {
+	a := New([]float64{0.1, 1})
+	b := New([]float64{0.2, 1})
+	a.Observe(time.Millisecond)
+	b.Observe(time.Millisecond)
+	if _, err := a.Snapshot().Merge(b.Snapshot()); err == nil {
+		t.Fatal("want error merging mismatched bounds")
+	}
+	// Merging with an empty snapshot is always fine.
+	if _, err := a.Snapshot().Merge(New([]float64{0.5}).Snapshot()); err != nil {
+		t.Fatalf("merge with empty: %v", err)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	h := New(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestWritePrometheusLabels(t *testing.T) {
+	h := New([]float64{0.001})
+	h.Observe(time.Microsecond)
+	var buf bytes.Buffer
+	h.Snapshot().WritePrometheus(&buf, "y_seconds", "help", `replica="r0"`)
+	out := buf.String()
+	for _, want := range []string{
+		`y_seconds_bucket{replica="r0",le="0.001"} 1`,
+		`y_seconds_bucket{replica="r0",le="+Inf"} 1`,
+		`y_seconds_count{replica="r0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

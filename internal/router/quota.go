@@ -1,0 +1,136 @@
+package router
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// quota is the router's per-tenant token bucket, sitting ahead of
+// placement: a tenant over budget collects 429s with jittered
+// Retry-After hints while every other tenant's latency holds. It is
+// the cluster-level twin of the replica's per-client limiter — the
+// router enforces the tenant contract once, instead of N replicas each
+// enforcing 1/N of it and a tenant's effective quota wobbling with
+// ring placement.
+//
+// Buckets refill continuously at rate tokens/second up to burst. The
+// tenant map is bounded; past maxTenants the stalest bucket (refilled
+// longest ago — a full, idle bucket) is dropped.
+type quota struct {
+	rate       float64
+	burst      float64
+	maxTenants int
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+	rng     *rand.Rand // Retry-After jitter
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newQuota builds the limiter; rate <= 0 disables quotas and returns
+// nil (a nil quota admits everything).
+func newQuota(rate float64, burst int) *quota {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = int(2 * rate)
+		if burst < 4 {
+			burst = 4
+		}
+	}
+	return &quota{
+		rate:       rate,
+		burst:      float64(burst),
+		maxTenants: 10_000,
+		buckets:    make(map[string]*tokenBucket),
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// allow takes one token from tenant's bucket; when empty it returns
+// false and a jittered Retry-After hint.
+func (q *quota) allow(tenant string, now time.Time) (bool, time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.buckets[tenant]
+	if !ok {
+		if len(q.buckets) >= q.maxTenants {
+			q.evictStalest()
+		}
+		b = &tokenBucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	wait += time.Duration(q.rng.Int63n(int64(wait)/2 + 1))
+	return false, wait
+}
+
+// evictStalest drops the bucket refilled longest ago. Called with the
+// lock held.
+func (q *quota) evictStalest() {
+	var stalest string
+	var oldest time.Time
+	first := true
+	for t, b := range q.buckets {
+		if first || b.last.Before(oldest) {
+			first = false
+			stalest, oldest = t, b.last
+		}
+	}
+	delete(q.buckets, stalest)
+}
+
+// tenants reports how many live buckets exist (metrics).
+func (q *quota) tenants() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}
+
+// hostOnly strips a trailing ":port" (digits only) from an address the
+// same way the replica's limiter does, so the router and replicas key
+// the same client identically. Bracketed IPv6 keeps the bracket
+// content; portless IPv6 is returned unchanged.
+func hostOnly(addr string) string {
+	if strings.HasPrefix(addr, "[") {
+		if end := strings.IndexByte(addr, ']'); end > 0 {
+			return addr[1:end]
+		}
+		return addr
+	}
+	i := strings.LastIndexByte(addr, ':')
+	if i <= 0 || i == len(addr)-1 || addr[i-1] == ':' {
+		return addr
+	}
+	for _, ch := range addr[i+1:] {
+		if ch < '0' || ch > '9' {
+			return addr
+		}
+	}
+	return addr[:i]
+}

@@ -1,0 +1,231 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	// Stand-ins for cache keys: deterministic, high-entropy-enough
+	// strings (the real keys are SHA-256 hex).
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d-%x", i, uint64(i)*0x9e3779b97f4a7c15)
+	}
+	return keys
+}
+
+func ringNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("127.0.0.1:%d", 9000+i)
+	}
+	return nodes
+}
+
+// TestRingDeterminism: the same key set places identically across
+// independently built rings, regardless of node declaration order.
+func TestRingDeterminism(t *testing.T) {
+	keys := ringKeys(5000)
+	nodes := ringNodes(5)
+	a := NewRing(nodes, 128)
+	shuffled := []string{nodes[3], nodes[0], nodes[4], nodes[2], nodes[1]}
+	b := NewRing(shuffled, 128)
+	for _, k := range keys {
+		if pa, pb := a.Lookup(k), b.Lookup(k); pa != pb {
+			t.Fatalf("key %q: ring a → %s, ring b (shuffled nodes) → %s", k, pa, pb)
+		}
+		sa, sb := a.Sequence(k, 0), b.Sequence(k, 0)
+		if len(sa) != len(sb) {
+			t.Fatalf("key %q: sequence lengths differ", k)
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("key %q: sequences diverge at %d: %v vs %v", k, i, sa, sb)
+			}
+		}
+	}
+}
+
+// TestRingBalance: with enough vnodes no replica owns a pathological
+// share of a uniform key set.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(20000)
+	nodes := ringNodes(4)
+	r := NewRing(nodes, 128)
+	counts := make(map[string]int)
+	for _, k := range keys {
+		counts[r.Lookup(k)]++
+	}
+	want := len(keys) / len(nodes)
+	for n, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("node %s owns %d of %d keys (fair share %d): ring too skewed", n, c, len(keys), want)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnRemove: removing one replica moves only the
+// keys it owned — every key whose primary survives keeps it exactly.
+func TestRingMinimalMovementOnRemove(t *testing.T) {
+	keys := ringKeys(10000)
+	nodes := ringNodes(5)
+	before := NewRing(nodes, 128)
+	after := NewRing(nodes[:4], 128) // drop the last replica
+	removed := nodes[4]
+
+	moved := 0
+	for _, k := range keys {
+		pb, pa := before.Lookup(k), after.Lookup(k)
+		if pb == removed {
+			moved++
+			if pa == removed {
+				t.Fatalf("key %q still places on removed node", k)
+			}
+			// Orphaned keys must land on the old ring's next node —
+			// that is where bounded-load spill was already warming.
+			seq := before.Sequence(k, 2)
+			if len(seq) == 2 && pa != seq[1] {
+				t.Fatalf("key %q: moved to %s, want old successor %s", k, pa, seq[1])
+			}
+			continue
+		}
+		if pa != pb {
+			t.Fatalf("key %q moved %s → %s though its primary survived", k, pb, pa)
+		}
+	}
+	// The removed node owned ~K/N keys; its orphans are the only moves.
+	fair := len(keys) / len(nodes)
+	if moved < fair/2 || moved > fair*2 {
+		t.Fatalf("moved %d keys, expected ~%d (removed node's share)", moved, fair)
+	}
+}
+
+// TestRingMinimalMovementOnAdd: adding a replica moves ≈ K/(N+1) keys,
+// all of them *to* the new replica.
+func TestRingMinimalMovementOnAdd(t *testing.T) {
+	keys := ringKeys(10000)
+	nodes := ringNodes(4)
+	added := "127.0.0.1:9100"
+	before := NewRing(nodes, 128)
+	after := NewRing(append(append([]string(nil), nodes...), added), 128)
+
+	moved := 0
+	for _, k := range keys {
+		pb, pa := before.Lookup(k), after.Lookup(k)
+		if pa == pb {
+			continue
+		}
+		moved++
+		if pa != added {
+			t.Fatalf("key %q moved %s → %s, but only moves to the new node are allowed", k, pb, pa)
+		}
+	}
+	fair := len(keys) / (len(nodes) + 1)
+	if moved < fair/2 || moved > fair*2 {
+		t.Fatalf("moved %d keys, expected ~%d (new node's share)", moved, fair)
+	}
+}
+
+// TestRingBoundedLoadSpill: a Zipf-skewed key stream assigned with the
+// bounded-load rule never loads any replica beyond the bound, while
+// pure primary placement would melt the hot key's owner. Spilled keys
+// must land on the hot key's ring successor, not scatter.
+func TestRingBoundedLoadSpill(t *testing.T) {
+	nodes := ringNodes(4)
+	r := NewRing(nodes, 128)
+
+	// A Zipf-ish stream: key 0 dominates. 60% hot key, the rest spread.
+	stream := make([]string, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		if i%5 < 3 {
+			stream = append(stream, "hot-key")
+		} else {
+			stream = append(stream, fmt.Sprintf("cold-%d", i))
+		}
+	}
+
+	const loadFactor = 1.25
+	inflight := make(map[string]int, len(nodes))
+	assigned := make(map[string]string)
+	spills := 0
+	// Model a closed system of 32 concurrent requests: each arrival
+	// takes a slot on its placed node; every 32nd step the oldest batch
+	// completes. Crude, but enough to exercise the spill rule.
+	type slot struct{ node string }
+	var active []slot
+	for _, k := range stream {
+		if len(active) == 32 {
+			inflight[active[0].node]--
+			active = active[1:]
+		}
+		total := 0
+		for _, c := range inflight {
+			total += c
+		}
+		bound := LoadBound(loadFactor, total+1, len(nodes), 4)
+		seq := r.Sequence(k, 0)
+		placed := ""
+		for i, n := range seq {
+			if inflight[n] < bound {
+				placed = n
+				if i > 0 {
+					spills++
+					if i == 1 && assigned[k] == "" {
+						// First spill of a key goes to its immediate successor.
+						if n != seq[1] {
+							t.Fatalf("key %q spilled to %s, want successor %s", k, n, seq[1])
+						}
+					}
+				}
+				break
+			}
+		}
+		if placed == "" {
+			placed = seq[0] // all saturated: primary absorbs (admission 429s handle it)
+		}
+		if inflight[placed] >= bound+1 {
+			t.Fatalf("node %s loaded to %d, bound %d", placed, inflight[placed], bound)
+		}
+		inflight[placed]++
+		active = append(active, slot{placed})
+		assigned[k] = placed
+	}
+	if spills == 0 {
+		t.Fatal("hot-key stream produced no bounded-load spills; bound never engaged")
+	}
+}
+
+func TestLoadBound(t *testing.T) {
+	// Near-idle cluster: the floor wins.
+	if b := LoadBound(1.25, 1, 4, 4); b != 4 {
+		t.Fatalf("idle bound = %d, want floor 4", b)
+	}
+	// Loaded cluster: ceil(1.25 * 40/4) = 13.
+	if b := LoadBound(1.25, 40, 4, 4); b != 13 {
+		t.Fatalf("loaded bound = %d, want 13", b)
+	}
+	// Degenerate inputs clamp instead of dividing by zero.
+	if b := LoadBound(0.5, 10, 0, 1); b < 1 {
+		t.Fatalf("degenerate bound = %d, want >= 1", b)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 8)
+	if got := empty.Lookup("k"); got != "" {
+		t.Fatalf("empty ring lookup = %q, want \"\"", got)
+	}
+	if seq := empty.Sequence("k", 0); seq != nil {
+		t.Fatalf("empty ring sequence = %v, want nil", seq)
+	}
+	one := NewRing([]string{"a"}, 8)
+	if got := one.Lookup("k"); got != "a" {
+		t.Fatalf("single ring lookup = %q, want a", got)
+	}
+	// Duplicate node names collapse.
+	dup := NewRing([]string{"a", "a", "b"}, 8)
+	if dup.Len() != 2 {
+		t.Fatalf("dup ring Len = %d, want 2", dup.Len())
+	}
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestResolveKeyMatchesServer: the exported ResolveKey — what the
+// cluster router places requests with — must produce byte-identical
+// keys to the server's own resolve+cacheKey path for every option
+// shape, or sharding would silently stop lining up with replica
+// caches.
+func TestResolveKeyMatchesServer(t *testing.T) {
+	s := newTestServer(t, Config{
+		MaxSteps:        1 << 20,
+		MaxTimeout:      3 * time.Second,
+		PipelineWorkers: 2,
+	})
+	ceil := KeyCeilings{MaxSteps: 1 << 20, MaxTimeout: 3 * time.Second, PipelineWorkers: 2}
+	cases := []RequestOptions{
+		{},
+		{Algorithm: "baseline", Check: "paranoid"},
+		{Workers: 8, MaxSteps: 999, TimeoutMS: 50},
+		{Workers: 16, MaxSteps: 1 << 40, TimeoutMS: 1 << 40}, // ceilings clamp steps/timeout
+		{Check: "boundaries"},
+	}
+	for i, ro := range cases {
+		resolved, _, err := s.resolve(ro)
+		if err != nil {
+			t.Fatalf("case %d: server resolve: %v", i, err)
+		}
+		want := cacheKey(smallSrc, resolved)
+		got, err := ResolveKey(smallSrc, ro, ceil)
+		if err != nil {
+			t.Fatalf("case %d: ResolveKey: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("case %d: ResolveKey = %s, server key = %s", i, got, want)
+		}
+	}
+
+	// Invalid options fail identically on both paths.
+	bad := RequestOptions{Algorithm: "turbo"}
+	if _, _, err := s.resolve(bad); err == nil {
+		t.Fatal("server resolve accepted a bad algorithm")
+	}
+	if _, err := ResolveKey(smallSrc, bad, ceil); err == nil {
+		t.Fatal("ResolveKey accepted a bad algorithm")
+	}
+
+	// Different ceilings change the key: the router must be configured
+	// with the replicas' ceilings or locality degrades.
+	other, err := ResolveKey(smallSrc, RequestOptions{}, KeyCeilings{MaxSteps: 1 << 21, MaxTimeout: 3 * time.Second, PipelineWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ResolveKey(smallSrc, RequestOptions{}, ceil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == base {
+		t.Fatal("changing key ceilings did not change the key")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/histo"
 	"repro/internal/pipeline"
 )
 
@@ -46,6 +47,15 @@ type metrics struct {
 	// mutate.
 	stageWallNS map[string]*atomic.Int64
 
+	// reqSeconds is the end-to-end /v1/promote latency distribution —
+	// every request, every status. pipeSeconds is the pipeline-run
+	// distribution (cache misses only). Both use the shared fixed
+	// bucket layout, so a fronting router can scrape them, merge across
+	// replicas, and derive its hedging delay from the served p95
+	// instead of a hardcoded guess.
+	reqSeconds  *histo.Histogram
+	pipeSeconds *histo.Histogram
+
 	// analysisBuilds aggregates, per analysis.Kind, how many fresh
 	// analysis builds the pipelines behind cache-miss requests ran.
 	// Kinds are known up front; only the values mutate. A healthy cache
@@ -61,6 +71,8 @@ func newMetrics() *metrics {
 	m := &metrics{
 		stageWallNS:    make(map[string]*atomic.Int64, len(pipeline.Stages())),
 		analysisBuilds: make(map[analysis.Kind]*atomic.Int64, len(analysis.Kinds())),
+		reqSeconds:     histo.New(nil),
+		pipeSeconds:    histo.New(nil),
 	}
 	for _, s := range pipeline.Stages() {
 		m.stageWallNS[s] = new(atomic.Int64)
@@ -160,6 +172,15 @@ func (m *metrics) writePrometheus(w io.Writer, s *Server) {
 		fmt.Fprintf(w, "rpserved_stage_wall_ms_total{stage=%q} %d\n",
 			stage, m.stageWallNS[stage].Load()/int64(time.Millisecond))
 	}
+
+	// Latency histograms: end-to-end request latency (all statuses) and
+	// pipeline-run latency (misses only), fixed shared buckets. The
+	// router scrapes rpserved_request_seconds to derive its hedging
+	// delay from the replicas' actual p95.
+	m.reqSeconds.Snapshot().WritePrometheus(w,
+		"rpserved_request_seconds", "end-to-end /v1/promote latency in seconds", "")
+	m.pipeSeconds.Snapshot().WritePrometheus(w,
+		"rpserved_pipeline_seconds", "pipeline execution latency in seconds (cache misses only)", "")
 
 	// Analysis-cache coherence: fresh builds per analysis kind, one
 	// labeled series per kind in canonical kind order.

@@ -540,3 +540,77 @@ func TestRateLimitEvictionBounded(t *testing.T) {
 		t.Fatalf("after churn: clients = %d, want <= %d", got, l.maxClients)
 	}
 }
+
+// TestFlightWaiterRetriesCanceledLeader: when a singleflight leader's
+// own client vanishes while the leader is queued for admission (the
+// router's hedge-loser cancellation), its waiters must not inherit the
+// cancellation — a live waiter retries the flight, becomes the new
+// leader, and serves a normal 200.
+func TestFlightWaiterRetriesCanceledLeader(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	block := make(chan struct{})
+	s.testHook = func() { <-block }
+
+	// Occupy the only worker slot with an unrelated program so the
+	// leader below parks in the admission queue.
+	holdReq := PromoteRequest{Source: "int hold() { return 42; }\nint main() { return hold(); }"}
+	var holdWG sync.WaitGroup
+	holdWG.Add(1)
+	go func() {
+		defer holdWG.Done()
+		postPromote(t, s, holdReq)
+	}()
+	waitFor(t, "slot holder admitted", func() bool { return s.adm.inUse() == 1 })
+
+	// Leader for the shared key, with a cancellable client context; it
+	// joins the flight first, then waits in the admission queue.
+	req := PromoteRequest{Source: smallSrc}
+	key := promoteKey(t, s, req)
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	leaderDone := make(chan int, 1)
+	go func() {
+		hr := httptest.NewRequest(http.MethodPost, "/v1/promote", bytes.NewReader(body)).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, hr)
+		leaderDone <- rec.Code
+	}()
+	waitFor(t, "leader joined the flight", func() bool {
+		s.flights.mu.Lock()
+		_, live := s.flights.flights[key]
+		s.flights.mu.Unlock()
+		return live
+	})
+
+	// Waiter on the same key with a live client.
+	type outcome struct {
+		code  int
+		cache string
+	}
+	waiterDone := make(chan outcome, 1)
+	go func() {
+		rec, ok, _ := postPromote(t, s, req)
+		waiterDone <- outcome{rec.Code, ok.Serving.Cache}
+	}()
+	waitFor(t, "waiter joined the flight", func() bool { return s.flights.waiting(key) == 1 })
+
+	// Kill the leader's client. The leader aborts out of the admission
+	// queue; the waiter must retry, inherit leadership, and queue up.
+	cancel()
+	if code := <-leaderDone; code != http.StatusRequestTimeout {
+		t.Fatalf("canceled leader got %d, want 408", code)
+	}
+	// Release the slot holder; the retried waiter now runs for real.
+	close(block)
+	holdWG.Wait()
+	got := <-waiterDone
+	if got.code != http.StatusOK {
+		t.Fatalf("waiter got %d after leader cancellation, want 200", got.code)
+	}
+	if got.cache != "miss" {
+		t.Fatalf("waiter cache=%q, want miss (it should have become the new leader)", got.cache)
+	}
+}

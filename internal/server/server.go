@@ -106,6 +106,14 @@ type Config struct {
 	// bytecode path (rpserved -bytecode). Outcomes are byte-identical to
 	// the default path; only the per-request CPU cost changes.
 	Bytecode bool
+	// ChaosSlow, when positive, stretches every pipeline execution by
+	// this long while it holds its worker slot — emulating a backend
+	// whose capacity is bounded by service time (real IO, a remote
+	// compiler) rather than local CPU. Cache hits and collapsed waiters
+	// skip it, so capacity experiments pair it with a no-reuse request
+	// mix. Capacity experiments and chaos drills only; never enable on
+	// a real deployment.
+	ChaosSlow time.Duration
 }
 
 // withDefaults resolves the zero values.
@@ -197,7 +205,7 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/promote", s.handlePromote)
+	mux.HandleFunc("/v1/promote", s.timedPromote)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -313,73 +321,22 @@ type resolvedOptions struct {
 
 // resolve canonicalizes the request options against the server's
 // ceilings and converts them to pipeline options. Invalid values come
-// back as a *badRequestError.
+// back as a *badRequestError. The canonicalization itself lives in
+// canonicalize (keys.go), shared with the router's ResolveKey so both
+// sides derive identical cache keys.
 func (s *Server) resolve(ro RequestOptions) (resolvedOptions, pipeline.Options, error) {
-	var res resolvedOptions
 	var popts pipeline.Options
-
-	// Every rejection below is a typed *pipeline.OptionError so the 400
-	// body can name the offending field — a client fixing its request
-	// should never have to parse prose.
-	res.Algorithm = ro.Algorithm
-	if res.Algorithm == "" {
-		res.Algorithm = "ssa"
-	}
-	alg, err := pipeline.ParseAlgorithm(res.Algorithm)
+	res, err := canonicalize(ro, KeyCeilings{
+		MaxSteps:        s.cfg.MaxSteps,
+		MaxTimeout:      s.cfg.MaxTimeout,
+		PipelineWorkers: s.cfg.PipelineWorkers,
+	})
 	if err != nil {
-		return res, popts, &badRequestError{&pipeline.OptionError{Field: "Algorithm", Value: ro.Algorithm,
-			Reason: "unknown algorithm (want ssa, baseline, memopt, or none)"}}
+		return res, popts, err
 	}
-	res.Check = ro.Check
-	if res.Check == "" {
-		res.Check = "off"
-	}
-	check, err := pipeline.ParseCheckLevel(res.Check)
-	if err != nil {
-		return res, popts, &badRequestError{&pipeline.OptionError{Field: "Check", Value: ro.Check,
-			Reason: "unknown check level (want off, boundaries, or paranoid)"}}
-	}
-	res.Workers = ro.Workers
-	if res.Workers == 0 {
-		res.Workers = s.cfg.PipelineWorkers
-	}
-	if res.Workers < 0 || res.Workers > 16 {
-		return res, popts, &badRequestError{&pipeline.OptionError{Field: "Workers", Value: ro.Workers,
-			Reason: "out of range [0, 16] (0 = server default)"}}
-	}
-	if ro.MaxSteps < 0 {
-		return res, popts, &badRequestError{&pipeline.OptionError{Field: "Interp.MaxSteps", Value: ro.MaxSteps,
-			Reason: "must be >= 0 (0 = server ceiling)"}}
-	}
-	if ro.TimeoutMS < 0 {
-		return res, popts, &badRequestError{&pipeline.OptionError{Field: "Interp.Timeout", Value: ro.TimeoutMS,
-			Reason: "must be >= 0 (0 = server ceiling)"}}
-	}
-	if ro.MaxPromotedWebs < 0 {
-		return res, popts, &badRequestError{&pipeline.OptionError{Field: "MaxPromotedWebs", Value: ro.MaxPromotedWebs,
-			Reason: "must be >= 0 (0 = unlimited)"}}
-	}
-	if ro.PressureCap < 0 {
-		return res, popts, &badRequestError{&pipeline.OptionError{Field: "PressureCap", Value: ro.PressureCap,
-			Reason: "must be >= 0 (0 = no pressure cap)"}}
-	}
-	res.MaxSteps = ro.MaxSteps
-	if res.MaxSteps == 0 || res.MaxSteps > s.cfg.MaxSteps {
-		res.MaxSteps = s.cfg.MaxSteps
-	}
-	maxMS := s.cfg.MaxTimeout.Milliseconds()
-	res.TimeoutMS = ro.TimeoutMS
-	if res.TimeoutMS == 0 || res.TimeoutMS > maxMS {
-		res.TimeoutMS = maxMS
-	}
-	res.StaticProfile = ro.StaticProfile
-	res.PreMemOpts = ro.PreMemOpts
-	res.PaperProfitFormula = ro.PaperProfitFormula
-	res.WholeFunctionScope = ro.WholeFunctionScope
-	res.MaxPromotedWebs = ro.MaxPromotedWebs
-	res.PressureCap = ro.PressureCap
-	res.SkipMeasurement = ro.SkipMeasurement
-	res.Fault = ro.Fault
+	// canonicalize already validated both enums; re-parsing cannot fail.
+	alg, _ := pipeline.ParseAlgorithm(res.Algorithm)
+	check, _ := pipeline.ParseCheckLevel(res.Check)
 
 	popts = pipeline.Options{
 		Algorithm:          alg,
@@ -465,6 +422,17 @@ type ErrorResponse struct {
 	Func  string `json:"func,omitempty"`
 }
 
+// timedPromote wraps handlePromote with the request-latency histogram:
+// every /v1/promote request — hit, miss, rejection, failure — lands one
+// observation, because the p95 a fronting router derives from this
+// histogram has to describe what clients actually experienced, not just
+// the happy path.
+func (s *Server) timedPromote(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.handlePromote(w, r)
+	s.m.reqSeconds.Observe(time.Since(start))
+}
+
 // handlePromote serves POST /v1/promote.
 func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -534,27 +502,40 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	// saturated. Memory tier first, then disk; a disk hit is promoted
 	// into the memory tier on the way out.
 	key := cacheKey(req.Source, resolved)
-	if hit, ok := s.cache.Get(key); ok {
-		s.m.cacheHits.Add(1)
-		s.serveCached(w, hit, "hit")
-		return
-	}
-	if entry, ok := s.diskGet(key); ok {
-		if s.cfg.CacheEntries > 0 {
-			s.m.cacheEvictions.Add(int64(s.cache.Put(key, entry)))
+	var f *flight
+	for attempt := 0; ; attempt++ {
+		if hit, ok := s.cache.Get(key); ok {
+			s.m.cacheHits.Add(1)
+			s.serveCached(w, hit, "hit")
+			return
 		}
-		s.serveCached(w, entry, "disk")
-		return
-	}
+		if entry, ok := s.diskGet(key); ok {
+			if s.cfg.CacheEntries > 0 {
+				s.m.cacheEvictions.Add(int64(s.cache.Put(key, entry)))
+			}
+			s.serveCached(w, entry, "disk")
+			return
+		}
 
-	// Singleflight: concurrent identical misses share one pipeline
-	// execution. Waiters block here — holding no worker slot — until
-	// the leader publishes its bytes or its error.
-	f, leader := s.flights.join(key)
-	if !leader {
+		// Singleflight: concurrent identical misses share one pipeline
+		// execution. Waiters block here — holding no worker slot — until
+		// the leader publishes its bytes or its error.
+		var leader bool
+		f, leader = s.flights.join(key)
+		if leader {
+			break
+		}
 		select {
 		case <-f.done:
 			if f.err != nil {
+				// A leader canceled by its own client — a hedge loser
+				// the router gave up on, a disconnect — says nothing
+				// about this request. Re-run the flight (often becoming
+				// the new leader) instead of propagating a stranger's
+				// cancellation to a live caller.
+				if attempt < 3 && isCanceled(f.err) && r.Context().Err() == nil {
+					continue
+				}
 				s.writeFlightError(w, f.err)
 				return
 			}
@@ -612,6 +593,18 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		s.testHook()
 	}
 
+	// Chaos service time: stretch this computation while it holds its
+	// worker slot, so per-replica capacity is bounded by
+	// slots/service-time the way an IO-bound backend's would be. Sitting
+	// inside the singleflight leader also widens the window in which
+	// concurrent identical misses collapse onto this run.
+	if s.cfg.ChaosSlow > 0 {
+		select {
+		case <-time.After(s.cfg.ChaosSlow):
+		case <-r.Context().Done():
+		}
+	}
+
 	// Attach a per-request analysis cache so the run's fresh-build
 	// counts can be folded into /metrics after it completes.
 	acache := analysis.New()
@@ -628,6 +621,7 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.m.pipelineNS.Add(int64(pipeWall))
+	s.m.pipeSeconds.Observe(pipeWall)
 	s.m.recordStages(out.Timings)
 	s.m.recordAnalysis(acache)
 	s.m.degradedFuncs.Add(int64(len(out.Degraded)))

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -70,3 +72,12 @@ func (g *flightGroup) waiting(key string) int {
 // unwound without a result (a panic outside the pipeline's own recover
 // barriers). Waiters map it to a 500; they are never left hanging.
 var errLeaderAborted = fmt.Errorf("server: singleflight leader aborted")
+
+// isCanceled reports whether a flight error reflects the leader's own
+// client going away rather than a failure of the computation — the
+// cases a still-live waiter should retry rather than inherit.
+func isCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, errLeaderAborted)
+}

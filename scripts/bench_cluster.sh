@@ -1,0 +1,208 @@
+#!/bin/sh
+# bench_cluster.sh — the cluster serving experiment: single node versus
+# a 4-replica consistent-hash cluster, hedged versus unhedged tails,
+# and a replica-kill rebalance drill. Writes BENCH_cluster.json.
+#
+# Profiles:
+#
+#   single_steady / cluster_steady
+#       The raw CPU-bound replay mix (cache-heavy) against one replica
+#       directly and against rprouter + 4 replicas. On a single-CPU
+#       host every replica shares one core, so the cluster CANNOT beat
+#       the node on CPU-bound traffic — this pair is recorded for
+#       honesty, and the machine caveat travels in the record.
+#
+#   single_capacity / cluster_capacity
+#       The scale-out claim, made measurable on one host: every
+#       pipeline execution holds its (single) worker slot for an
+#       emulated 10ms backend service time (-chaos-slow), and the mix
+#       never repeats a program, so per-replica capacity is
+#       slots/service-time (~100 miss/s) rather than CPU. Four
+#       replicas must deliver >= 3x the single node's throughput, with
+#       p99 no worse than 2x.
+#
+#   spike_unhedged / spike_hedged
+#       One replica is degraded (-chaos-slow 40ms vs 5ms for the
+#       rest); a spike-shaped no-reuse mix runs through the router
+#       with hedging off, then with a fixed 10ms hedge. Hedged p99
+#       must beat unhedged p99.
+#
+#   kill_rebalance
+#       4-replica cluster, paced mix, kill -9 one replica mid-run.
+#       rploadgen itself fails the run on any 5xx, transport error, or
+#       outcome mismatch — surviving the kill with zero failed
+#       requests is the pass condition.
+#
+# Assertions (any failure exits non-zero):
+#   - cluster_capacity throughput >= 3x single_capacity throughput
+#   - cluster_capacity p99 <= 2x single_capacity p99
+#   - spike_hedged p99 < spike_unhedged p99
+#   - every profile: zero outcome mismatches (enforced inside rploadgen)
+set -eu
+
+cd "$(dirname "$0")/.."
+GO="${GO:-go}"
+
+work="$(mktemp -d /tmp/bench-cluster.XXXXXX)"
+pids=""
+cleanup() {
+    for p in $pids; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+say() { echo "bench-cluster: $*"; }
+
+$GO build -o bin/rpserved ./cmd/rpserved
+$GO build -o bin/rprouter ./cmd/rprouter
+$GO build -o bin/rploadgen ./cmd/rploadgen
+
+wait_port() {
+    i=0
+    while [ ! -f "$1" ]; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && { say "$1 never appeared"; exit 1; }
+        sleep 0.1
+    done
+}
+
+# start_replica <name> <extra flags...> — sets $last_pid, writes $work/<name>.port
+start_replica() {
+    name="$1"; shift
+    rm -f "$work/$name.port"
+    bin/rpserved -addr 127.0.0.1:0 -port-file "$work/$name.port" "$@" >/dev/null &
+    last_pid=$!; pids="$pids $last_pid"
+    wait_port "$work/$name.port"
+}
+
+start_router() {
+    rm -f "$work/router.port"
+    bin/rprouter -addr 127.0.0.1:0 -port-file "$work/router.port" "$@" >/dev/null &
+    last_pid=$!; pids="$pids $last_pid"
+    wait_port "$work/router.port"
+}
+
+stop_all() {
+    for p in $pids; do
+        kill -TERM "$p" 2>/dev/null || true
+        wait "$p" 2>/dev/null || true
+    done
+    pids=""
+}
+
+CORES="$(nproc 2>/dev/null || echo unknown)"
+CAVEAT="single host, $CORES core(s): all replicas, the router, and the load generator share the same CPU"
+
+# ---------------------------------------------------------------- steady
+say "steady: single node (direct)"
+start_replica s1 -queue 64
+bin/rploadgen -addr "$(cat "$work/s1.port")" -n 2048 -c 16 -unique 16 -size small \
+    -json "$work/single_steady.json" -note "direct, CPU-bound; $CAVEAT" >/dev/null
+stop_all
+
+say "steady: 4-replica cluster (via rprouter)"
+start_replica c1 -queue 64; start_replica c2 -queue 64
+start_replica c3 -queue 64; start_replica c4 -queue 64
+start_router -replicas "$(cat "$work/c1.port"),$(cat "$work/c2.port"),$(cat "$work/c3.port"),$(cat "$work/c4.port")" \
+    -hedge-delay=-1ms
+bin/rploadgen -addr "$(cat "$work/router.port")" -n 2048 -c 16 -unique 16 -size small \
+    -json "$work/cluster_steady.json" -note "routed, CPU-bound; $CAVEAT" >/dev/null
+stop_all
+
+# -------------------------------------------------------------- capacity
+# No-reuse mix (unique == n) so every request is a pipeline execution
+# holding its worker slot for the emulated service time; replica
+# capacity = 1 slot / 5ms = ~200 req/s.
+say "capacity: single node, 1 worker, 10ms emulated service time"
+start_replica s1 -server-workers 1 -queue 64 -chaos-slow 10ms
+bin/rploadgen -addr "$(cat "$work/s1.port")" -n 192 -c 16 -unique 192 -size small \
+    -json "$work/single_capacity.json" -note "slot-bound: 1 worker x 10ms service time, no-reuse mix; $CAVEAT" >/dev/null
+stop_all
+
+say "capacity: 4-replica cluster, same per-replica limits"
+start_replica c1 -server-workers 1 -queue 64 -chaos-slow 10ms
+start_replica c2 -server-workers 1 -queue 64 -chaos-slow 10ms
+start_replica c3 -server-workers 1 -queue 64 -chaos-slow 10ms
+start_replica c4 -server-workers 1 -queue 64 -chaos-slow 10ms
+start_router -replicas "$(cat "$work/c1.port"),$(cat "$work/c2.port"),$(cat "$work/c3.port"),$(cat "$work/c4.port")" \
+    -hedge-delay=-1ms
+bin/rploadgen -addr "$(cat "$work/router.port")" -n 768 -c 16 -unique 768 -size small \
+    -json "$work/cluster_capacity.json" -note "slot-bound: 4x(1 worker x 10ms), no-reuse mix; $CAVEAT" >/dev/null
+stop_all
+
+# ----------------------------------------------------------------- spike
+# Replica 1 is degraded 8x; the spike mix never reuses programs so the
+# degradation stays visible. Hedging off, then a fixed 10ms hedge.
+spike_cluster() {
+    start_replica c1 -server-workers 1 -queue 64 -chaos-slow 40ms
+    start_replica c2 -server-workers 1 -queue 64 -chaos-slow 5ms
+    start_replica c3 -server-workers 1 -queue 64 -chaos-slow 5ms
+    start_replica c4 -server-workers 1 -queue 64 -chaos-slow 5ms
+    start_router -replicas "$(cat "$work/c1.port"),$(cat "$work/c2.port"),$(cat "$work/c3.port"),$(cat "$work/c4.port")" \
+        "$@"
+}
+
+say "spike: unhedged router over a cluster with one degraded replica"
+spike_cluster -hedge-delay=-1ms
+bin/rploadgen -addr "$(cat "$work/router.port")" -profile spike -n 256 -unique 256 -qps 120 -base-qps 30 -c 16 \
+    -json "$work/spike_unhedged.json" -note "replica 1 degraded to 40ms service time, hedging off; $CAVEAT" >/dev/null
+stop_all
+
+say "spike: hedged router (10ms) over the same degraded cluster"
+spike_cluster -hedge-delay 10ms
+bin/rploadgen -addr "$(cat "$work/router.port")" -profile spike -n 256 -unique 256 -qps 120 -base-qps 30 -c 16 \
+    -json "$work/spike_hedged.json" -note "replica 1 degraded to 40ms service time, 10ms hedge; $CAVEAT" >/dev/null
+stop_all
+
+# -------------------------------------------------------------- kill
+say "kill_rebalance: kill -9 one replica mid-run"
+start_replica c1 -queue 64; start_replica c2 -queue 64
+start_replica c3 -queue 64; start_replica c4 -queue 64
+kill_pid=$last_pid
+start_router -replicas "$(cat "$work/c1.port"),$(cat "$work/c2.port"),$(cat "$work/c3.port"),$(cat "$work/c4.port")"
+bin/rploadgen -addr "$(cat "$work/router.port")" -n 600 -c 8 -qps 200 -unique 16 -size small -retries 6 \
+    -json "$work/kill_rebalance.json" -note "replica killed -9 at ~1s of a 3s paced run; $CAVEAT" >/dev/null &
+load_pid=$!
+sleep 1
+kill -9 "$kill_pid"
+wait "$kill_pid" 2>/dev/null || true
+wait "$load_pid" || { say "FAIL: requests failed across the replica kill"; exit 1; }
+stop_all
+
+# ------------------------------------------------------------- assemble
+jsonfield() { # jsonfield <file> <field> — first numeric value of "field"
+    sed -n "s/^.*\"$2\": \([0-9.eE+-]*\),*$/\1/p" "$1" | head -n 1
+}
+
+single_tp="$(jsonfield "$work/single_capacity.json" throughput_rps)"
+cluster_tp="$(jsonfield "$work/cluster_capacity.json" throughput_rps)"
+single_p99="$(jsonfield "$work/single_capacity.json" p99_ms)"
+cluster_p99="$(jsonfield "$work/cluster_capacity.json" p99_ms)"
+unhedged_p99="$(jsonfield "$work/spike_unhedged.json" p99_ms)"
+hedged_p99="$(jsonfield "$work/spike_hedged.json" p99_ms)"
+
+speedup="$(awk "BEGIN { printf \"%.2f\", $cluster_tp / $single_tp }")"
+say "capacity: single $single_tp req/s vs cluster $cluster_tp req/s (${speedup}x)"
+say "capacity p99: single ${single_p99}ms vs cluster ${cluster_p99}ms"
+say "spike p99: unhedged ${unhedged_p99}ms vs hedged ${hedged_p99}ms"
+
+fail=0
+awk "BEGIN { exit !($cluster_tp >= 3 * $single_tp) }" || { say "FAIL: cluster capacity < 3x single node"; fail=1; }
+awk "BEGIN { exit !($cluster_p99 <= 2 * $single_p99) }" || { say "FAIL: cluster p99 > 2x single-node p99"; fail=1; }
+awk "BEGIN { exit !($hedged_p99 < $unhedged_p99) }" || { say "FAIL: hedged p99 not better than unhedged"; fail=1; }
+
+{
+    printf '{\n  "machine": {"cores": "%s", "caveat": "%s"},\n' "$CORES" "$CAVEAT"
+    printf '  "capacity_speedup": %s,\n' "$speedup"
+    for rec in single_steady cluster_steady single_capacity cluster_capacity \
+               spike_unhedged spike_hedged kill_rebalance; do
+        printf '  "%s": ' "$rec"
+        cat "$work/$rec.json" | sed 's/^/  /' | sed '1s/^  //'
+        [ "$rec" = kill_rebalance ] || printf ',\n'
+    done
+    printf '}\n'
+} > BENCH_cluster.json
+say "wrote BENCH_cluster.json"
+
+[ "$fail" -eq 0 ] || exit 1
+say "PASS"
