@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 BATCH ?= 32
 JOBS ?= $(shell nproc 2>/dev/null || echo 4)
 
-.PHONY: build test vet race test-par lint fuzz-smoke bench-par bench-hot bench-bytecode bench-smoke bench-pressure pressure-smoke serve-smoke bench-serve chaos-smoke cluster-smoke bench-cluster ci
+.PHONY: build test vet race test-par lint fuzz-smoke oracle-smoke oracle bench-par bench-hot bench-bytecode bench-smoke bench-pressure pressure-smoke serve-smoke bench-serve chaos-smoke cluster-smoke bench-cluster ci
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,21 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParser$$' -fuzztime $(FUZZTIME) ./internal/source
 	$(GO) test -run '^$$' -fuzz '^FuzzPipelineDifferential$$' -fuzztime $(FUZZTIME) ./internal/pipeline
 	$(GO) test -run '^$$' -fuzz '^FuzzPipelineFaults$$' -fuzztime $(FUZZTIME) ./internal/pipeline
+	$(GO) test -run '^$$' -fuzz '^FuzzIRImport$$' -fuzztime $(FUZZTIME) ./internal/irimport
+
+# Semantics-oracle smoke: 200 seeded generated programs, each compiled
+# with and without promotion and run on all three interpreter paths;
+# any observable divergence (or print→reimport round-trip break) fails
+# the build with a shrunk counterexample.
+oracle-smoke:
+	$(GO) run ./cmd/rpbench -oracle 200 -seed 1 -size small -oracle-roundtrip
+
+# Nightly-scale oracle sweep across the size classes, recorded as
+# BENCH_oracle.json.
+oracle:
+	$(GO) run ./cmd/rpbench -oracle 2000 -seed 1 -size small -oracle-roundtrip
+	$(GO) run ./cmd/rpbench -oracle 500 -seed 2 -size medium -oracle-roundtrip -json BENCH_oracle.json
+	$(GO) run ./cmd/rpbench -oracle 100 -seed 3 -size large -oracle-roundtrip
 
 # Sharded-batch benchmark: the stress corpus under -j 1 vs -j $(JOBS),
 # each writing a machine-readable record for before/after comparison.
@@ -136,4 +151,4 @@ cluster-smoke:
 bench-cluster:
 	sh scripts/bench_cluster.sh
 
-ci: vet lint race test-par bench-smoke pressure-smoke fuzz-smoke serve-smoke chaos-smoke cluster-smoke
+ci: vet lint race test-par bench-smoke pressure-smoke fuzz-smoke oracle-smoke serve-smoke chaos-smoke cluster-smoke

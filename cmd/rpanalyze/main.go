@@ -1,17 +1,20 @@
-// Command rpanalyze runs the static IR diagnostics over a mini-C
-// program without transforming it: dead stores, unreachable blocks,
-// SSA dominance violations, never-promotable memory webs (with the
-// blocking alias reason), and register-pressure hotspots.
+// Command rpanalyze runs the static IR diagnostics over a program
+// without transforming it: dead stores, unreachable blocks, SSA
+// dominance violations, never-promotable memory webs (with the
+// blocking alias reason), and register-pressure hotspots. Input is
+// mini-C or the textual-IR dialect (detected by extension, .mc/.c vs
+// .ll, or forced with -lang).
 //
 // Usage:
 //
 //	rpanalyze file.c            # human report
+//	rpanalyze kernel.ll         # imported textual IR
 //	rpanalyze -json file.c      # versioned JSON report
 //	rpanalyze -rules dead-store,pressure-hotspot file.c
 //	rpanalyze -pressure-threshold 6 file.c
 //	rpanalyze -strict file.c    # exit 1 on any error-severity finding
 //	rpanalyze -list-rules
-//	cat file.c | rpanalyze -    # read program from stdin
+//	cat file.c | rpanalyze -    # read program from stdin (-lang to override)
 //
 // The same rules run inside the pipeline when Options.Diagnose is set;
 // this command is the standalone entry point.
@@ -26,11 +29,14 @@ import (
 
 	"repro/internal/alias"
 	"repro/internal/diag"
+	"repro/internal/ir"
+	"repro/internal/irimport"
 	"repro/internal/source"
 )
 
 func main() {
 	var (
+		lang      = flag.String("lang", "", "input language override: mc or ll (default: detect from the file extension; stdin defaults to mc)")
 		jsonOut   = flag.Bool("json", false, "emit the versioned JSON report instead of the human one")
 		rules     = flag.String("rules", "", "comma-separated rule subset (default: all; see -list-rules)")
 		threshold = flag.Int("pressure-threshold", 0, "pressure-hotspot threshold (0 = default)")
@@ -54,8 +60,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	srcLang := *lang
+	switch srcLang {
+	case "":
+		if flag.Arg(0) == "-" {
+			srcLang = irimport.LangMiniC
+		} else if srcLang, err = irimport.DetectLang(flag.Arg(0)); err != nil {
+			fatal(err)
+		}
+	case irimport.LangMiniC, irimport.LangIR:
+	default:
+		fatal(fmt.Errorf("unknown -lang %q (want mc or ll)", srcLang))
+	}
 
-	prog, err := source.Compile(src)
+	var prog *ir.Program
+	if srcLang == irimport.LangIR {
+		prog, err = irimport.Parse(flag.Arg(0), src)
+	} else {
+		prog, err = source.Compile(src)
+	}
 	if err != nil {
 		fatal(fmt.Errorf("compile: %w", err))
 	}

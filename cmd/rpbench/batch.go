@@ -24,6 +24,10 @@ type batchConfig struct {
 	// Size scales the generated programs: small, medium (default), or
 	// large (see workload.SizedGenConfig).
 	Size string
+	// IREvery, when positive, replaces every IREvery-th generated entry
+	// with an imported real-IR program (workload.ImportedSuite), so the
+	// batch exercises the import frontend alongside the native one.
+	IREvery int
 	// Jobs shards corpus entries across goroutines.
 	Jobs int
 	// Workers is the per-program pipeline worker count.
@@ -67,6 +71,7 @@ type batchRecord struct {
 	Generated      int              `json:"generated"`
 	Seed           int64            `json:"seed"`
 	Size           string           `json:"size"`
+	Mix            map[string]int   `json:"mix"` // corpus entries by input language
 	Jobs           int              `json:"jobs"`
 	Workers        int              `json:"workers"`
 	Check          string           `json:"check"`
@@ -91,13 +96,14 @@ type batchRecord struct {
 // order, so the output is deterministic for any -j.
 func runBatch(cfg batchConfig) error {
 	corpus := workload.Suite()
-	for i := 0; i < cfg.Generated; i++ {
-		w, err := workload.SizedCorpusEntry(cfg.Seed, i, cfg.Size)
+	if cfg.Generated > 0 {
+		gen, err := workload.ReplayCorpusMix(cfg.Seed, cfg.Generated, cfg.Size, cfg.IREvery)
 		if err != nil {
 			return err
 		}
-		corpus = append(corpus, w)
+		corpus = append(corpus, gen...)
 	}
+	mix := workload.MixComposition(corpus)
 
 	popts := pipeline.Options{
 		Check:   cfg.Check,
@@ -133,8 +139,10 @@ func runBatch(cfg batchConfig) error {
 			defer wg.Done()
 			for i := range indexes {
 				w := corpus[i]
+				eopts := popts
+				eopts.Lang = w.Lang
 				t0 := time.Now()
-				out, err := pipeline.Run(w.Src, popts)
+				out, err := pipeline.Run(w.Src, eopts)
 				r := entryResult{Name: w.Name, Err: err, Out: out, Wall: time.Since(t0)}
 				if out != nil {
 					r.Degraded = out.DegradedFuncs()
@@ -204,8 +212,9 @@ func runBatch(cfg batchConfig) error {
 	case cfg.Bytecode:
 		mode = "bytecode"
 	}
-	fmt.Printf("batch: %d entries (%d generated, seed %d, size %s), -j %d, -workers %d, check %s, mode %s\n",
-		len(corpus), cfg.Generated, cfg.Seed, sizeName(cfg.Size), jobs, cfg.Workers, cfg.Check, mode)
+	fmt.Printf("batch: %d entries (%d generated, seed %d, size %s, mix mc=%d ll=%d), -j %d, -workers %d, check %s, mode %s\n",
+		len(corpus), cfg.Generated, cfg.Seed, sizeName(cfg.Size), mix["mc"], mix["ll"],
+		jobs, cfg.Workers, cfg.Check, mode)
 	fmt.Printf("wall %v  cpu %v  %.2f entries/s  failures %d  degraded funcs %d\n",
 		elapsed.Round(time.Millisecond), cpu.Round(time.Millisecond),
 		float64(len(corpus))/elapsed.Seconds(), failures, degraded)
@@ -226,6 +235,7 @@ func runBatch(cfg batchConfig) error {
 			Generated:      cfg.Generated,
 			Seed:           cfg.Seed,
 			Size:           sizeName(cfg.Size),
+			Mix:            mix,
 			Jobs:           jobs,
 			Workers:        cfg.Workers,
 			Check:          cfg.Check.String(),

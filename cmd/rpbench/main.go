@@ -49,6 +49,9 @@ func main() {
 		jobs       = flag.Int("j", 1, "batch mode: shard corpus entries across N goroutines")
 		legacy     = flag.Bool("legacy", false, "batch mode: run the pre-optimization paths (no analysis cache, map-based interpreter) as the benchmark baseline")
 		bytecode   = flag.Bool("bytecode", false, "batch mode: run training and measurement interpretation on the compiled bytecode path")
+		irEvery    = flag.Int("ir-every", 0, "batch mode: replace every Nth generated entry with an imported real-IR program (0 = off)")
+		oracleN    = flag.Int("oracle", 0, "run the semantics oracle over N seeded generated programs (uses -seed and -size), write -json, and exit")
+		oracleRT   = flag.Bool("oracle-roundtrip", false, "oracle mode: also check print→reimport round-trip equivalence")
 		interpN    = flag.Int("interp-bench", 0, "measure the three interpreter paths on the call-heavy program with N timed runs each, write -json, and exit")
 		presBench  = flag.Bool("pressure-bench", false, "run the pressure-aware promotion table over the suite plus -pressure-gen programs, write -json, and exit")
 		presCap    = flag.Int("pressure-cap", 8, "pressure mode: register-pressure color cap")
@@ -88,6 +91,20 @@ func main() {
 		return
 	}
 
+	if *oracleN > 0 {
+		if err := runOracle(oracleConfig{
+			Programs:  *oracleN,
+			Seed:      *seed,
+			Size:      *size,
+			RoundTrip: *oracleRT,
+			JSONPath:  *jsonOut,
+		}); err != nil {
+			finishProfiles()
+			fatal(err)
+		}
+		return
+	}
+
 	checkLevel, err := pipeline.ParseCheckLevel(*check)
 	if err != nil {
 		fatal(err)
@@ -118,6 +135,7 @@ func main() {
 	if *batch >= 0 {
 		if err := runBatch(batchConfig{
 			Generated: *batch,
+			IREvery:   *irEvery,
 			Seed:      *seed,
 			Size:      *size,
 			Jobs:      *jobs,

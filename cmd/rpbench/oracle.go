@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/oracle"
+	"repro/internal/report"
+)
+
+// oracleConfig parameterizes one oracle sweep.
+type oracleConfig struct {
+	// Programs is how many seeded programs to check.
+	Programs int
+	// Seed and Size select the generated stream (shared -seed/-size
+	// flags).
+	Seed int64
+	Size string
+	// RoundTrip additionally checks print→reimport equivalence.
+	RoundTrip bool
+	// JSONPath, when non-empty, receives the machine-readable record.
+	JSONPath string
+}
+
+// oracleRecord is the JSON shape of an oracle sweep: the configuration,
+// what was executed, and every violated property with its shrunk
+// counterexample. A clean nightly run is a one-line "mismatches": []
+// diff against the previous one.
+type oracleRecord struct {
+	SchemaVersion int               `json:"schema_version"`
+	Seed          int64             `json:"seed"`
+	Programs      int               `json:"programs"`
+	Size          string            `json:"size"`
+	RoundTrip     bool              `json:"round_trip"`
+	Runs          int               `json:"runs"`
+	Degraded      int               `json:"degraded"`
+	Skipped       int               `json:"skipped"`
+	ElapsedMS     float64           `json:"elapsed_ms"`
+	ProgramsPerS  float64           `json:"programs_per_sec"`
+	Mismatches    []oracle.Mismatch `json:"mismatches"`
+}
+
+// runOracle sweeps the seeded program stream through the semantics
+// oracle and reports every violated property. A non-empty mismatch set
+// is an exit-code failure: the oracle is a correctness gate, not a
+// benchmark.
+func runOracle(cfg oracleConfig) error {
+	start := time.Now()
+	lastLine := 0
+	rep, err := oracle.Run(oracle.Config{
+		Seed:      cfg.Seed,
+		Programs:  cfg.Programs,
+		Size:      cfg.Size,
+		RoundTrip: cfg.RoundTrip,
+		Progress: func(done, total int) {
+			// Coarse progress: one line per ~10%, so logs stay short.
+			if pct := done * 10 / total; pct > lastLine {
+				lastLine = pct
+				fmt.Printf("oracle: %d/%d programs checked\n", done, total)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("oracle: %d programs (seed %d, size %s, round-trip %v): %d interpreter runs, %d degraded, %d skipped, %d mismatches in %v\n",
+		rep.Programs, rep.Seed, rep.Size, cfg.RoundTrip, rep.Runs, rep.Degraded,
+		rep.Skipped, len(rep.Mismatches), elapsed.Round(time.Millisecond))
+	for _, m := range rep.Mismatches {
+		fmt.Printf("MISMATCH program %d (seed %d): %s: %s\nshrunk counterexample (%d lines, from %d):\n%s\n",
+			m.Index, m.Seed, m.Property, m.Detail, m.ShrunkLines, m.OrigLines, m.Source)
+	}
+
+	if cfg.JSONPath != "" {
+		rec := oracleRecord{
+			SchemaVersion: report.SchemaVersion,
+			Seed:          rep.Seed,
+			Programs:      rep.Programs,
+			Size:          rep.Size,
+			RoundTrip:     cfg.RoundTrip,
+			Runs:          rep.Runs,
+			Degraded:      rep.Degraded,
+			Skipped:       rep.Skipped,
+			ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
+			ProgramsPerS:  float64(rep.Programs) / elapsed.Seconds(),
+			Mismatches:    rep.Mismatches,
+		}
+		if rec.Mismatches == nil {
+			rec.Mismatches = []oracle.Mismatch{}
+		}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.JSONPath)
+	}
+
+	if !rep.Ok() {
+		return fmt.Errorf("oracle: %d of %d programs violated a property", len(rep.Mismatches), rep.Programs)
+	}
+	return nil
+}

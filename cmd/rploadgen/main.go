@@ -66,6 +66,7 @@ func main() {
 		qps      = flag.Float64("qps", 0, "target request rate (0 = as fast as possible)")
 		seed     = flag.Int64("seed", 1, "base seed for the replay corpus and request mix")
 		unique   = flag.Int("unique", 8, "distinct programs in the replay corpus")
+		irEvery  = flag.Int("ir-every", 0, "replace every Nth corpus entry with an imported real-IR program (0 = off)")
 		size     = flag.String("size", "small", "generated program size: small, medium, or large")
 		check    = flag.String("check", "off", "per-request pipeline check level")
 		workers  = flag.Int("workers", 0, "per-request transform worker count (0 = server default)")
@@ -143,15 +144,17 @@ func main() {
 	if *n < 1 || *conc < 1 {
 		fatal(fmt.Errorf("need -n >= 1 and -c >= 1"))
 	}
-	corpus, err := workload.ReplayCorpus(*seed, *unique, *size)
+	corpus, err := workload.ReplayCorpusMix(*seed, *unique, *size, *irEvery)
 	if err != nil {
 		fatal(err)
 	}
+	langMix := workload.MixComposition(corpus)
 	bodies := make([][]byte, len(corpus))
 	for i, w := range corpus {
 		body, err := json.Marshal(server.PromoteRequest{
 			Source: w.Src,
 			Options: server.RequestOptions{
+				Lang:    w.Lang,
 				Check:   *check,
 				Workers: *workers,
 			},
@@ -391,6 +394,7 @@ func main() {
 			Unique:            *unique,
 			Seed:              *seed,
 			Size:              *size,
+			Mix:               langMix,
 			Check:             *check,
 			Profile:           prof.Name,
 			Shape:             prof.Shape,
@@ -480,43 +484,44 @@ func retryAfter(h string) time.Duration {
 // serveRecord is the machine-readable BENCH_serve.json shape, stamped
 // with the shared report.SchemaVersion like every other BENCH record.
 type serveRecord struct {
-	SchemaVersion     int     `json:"schema_version"`
-	Addr              string  `json:"addr"`
-	Requests          int     `json:"requests"`
-	Concurrency       int     `json:"concurrency"`
-	TargetQPS         float64 `json:"target_qps"`
-	Unique            int     `json:"unique_programs"`
-	Seed              int64   `json:"seed"`
-	Size              string  `json:"size"`
-	Check             string  `json:"check"`
-	Profile           string  `json:"profile,omitempty"`
-	Shape             string  `json:"shape,omitempty"`
-	ZipfS             float64 `json:"zipf_s,omitempty"`
-	BaseQPS           float64 `json:"base_qps,omitempty"`
-	DurationS         float64 `json:"duration_s,omitempty"`
-	ErrorRate         float64 `json:"error_rate"`
-	SLOOK             bool    `json:"slo_ok"`
-	Note              string  `json:"note,omitempty"`
-	ElapsedMS         float64 `json:"elapsed_ms"`
-	ThroughputRPS     float64 `json:"throughput_rps"`
-	P50MS             float64 `json:"p50_ms"`
-	P95MS             float64 `json:"p95_ms"`
-	P99MS             float64 `json:"p99_ms"`
-	MeanMS            float64 `json:"mean_ms"`
-	OK                int     `json:"ok"`
-	Rejected          int     `json:"rejected"`
-	Retries           int     `json:"retries"`
-	GaveUp            int     `json:"gave_up"`
-	Timeouts          int     `json:"timeouts"`
-	ClientErrors      int     `json:"client_errors"`
-	ServerErrors      int     `json:"server_errors"`
-	TransportErrors   int     `json:"transport_errors"`
-	CacheHits         int     `json:"cache_hits"`
-	DiskHits          int     `json:"disk_hits"`
-	Collapsed         int     `json:"collapsed"`
-	CacheMisses       int     `json:"cache_misses"`
-	CacheHitRate      float64 `json:"cache_hit_rate"`
-	OutcomeMismatches int     `json:"outcome_mismatches"`
+	SchemaVersion     int            `json:"schema_version"`
+	Addr              string         `json:"addr"`
+	Requests          int            `json:"requests"`
+	Concurrency       int            `json:"concurrency"`
+	TargetQPS         float64        `json:"target_qps"`
+	Unique            int            `json:"unique_programs"`
+	Seed              int64          `json:"seed"`
+	Size              string         `json:"size"`
+	Mix               map[string]int `json:"mix"` // corpus entries by input language
+	Check             string         `json:"check"`
+	Profile           string         `json:"profile,omitempty"`
+	Shape             string         `json:"shape,omitempty"`
+	ZipfS             float64        `json:"zipf_s,omitempty"`
+	BaseQPS           float64        `json:"base_qps,omitempty"`
+	DurationS         float64        `json:"duration_s,omitempty"`
+	ErrorRate         float64        `json:"error_rate"`
+	SLOOK             bool           `json:"slo_ok"`
+	Note              string         `json:"note,omitempty"`
+	ElapsedMS         float64        `json:"elapsed_ms"`
+	ThroughputRPS     float64        `json:"throughput_rps"`
+	P50MS             float64        `json:"p50_ms"`
+	P95MS             float64        `json:"p95_ms"`
+	P99MS             float64        `json:"p99_ms"`
+	MeanMS            float64        `json:"mean_ms"`
+	OK                int            `json:"ok"`
+	Rejected          int            `json:"rejected"`
+	Retries           int            `json:"retries"`
+	GaveUp            int            `json:"gave_up"`
+	Timeouts          int            `json:"timeouts"`
+	ClientErrors      int            `json:"client_errors"`
+	ServerErrors      int            `json:"server_errors"`
+	TransportErrors   int            `json:"transport_errors"`
+	CacheHits         int            `json:"cache_hits"`
+	DiskHits          int            `json:"disk_hits"`
+	Collapsed         int            `json:"collapsed"`
+	CacheMisses       int            `json:"cache_misses"`
+	CacheHitRate      float64        `json:"cache_hit_rate"`
+	OutcomeMismatches int            `json:"outcome_mismatches"`
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/faults"
+	"repro/internal/irimport"
 	"repro/internal/pipeline"
 	"repro/internal/profiling"
 	"repro/internal/regalloc"
@@ -31,7 +32,8 @@ import (
 
 func main() {
 	var (
-		file        = flag.String("file", "", "mini-C source file to compile")
+		file        = flag.String("file", "", "source file to compile (.mc/.c mini-C or .ll textual IR, by extension)")
+		lang        = flag.String("lang", "", "input language override: mc or ll (default: detect from the -file extension)")
 		wl          = flag.String("workload", "", "built-in workload name (see -list)")
 		list        = flag.Bool("list", false, "list built-in workloads and exit")
 		alg         = flag.String("alg", "ssa", "promotion algorithm: ssa, baseline, memopt, none")
@@ -88,7 +90,7 @@ func main() {
 		return
 	}
 
-	src, name, err := loadSource(*file, *wl)
+	src, name, srcLang, err := loadSource(*file, *wl, *lang)
 	if err != nil {
 		fatal(err, *verbose)
 	}
@@ -108,6 +110,7 @@ func main() {
 	}
 
 	out, err := pipeline.Run(src, pipeline.Options{
+		Lang:               srcLang,
 		Algorithm:          algorithm,
 		StaticProfile:      *static,
 		PaperProfitFormula: *paper,
@@ -194,24 +197,38 @@ func main() {
 	}
 }
 
-func loadSource(file, wl string) (src, name string, err error) {
+// loadSource resolves the program text and its input language: an
+// explicit -lang wins, otherwise -file detects by extension and
+// workloads carry their own tag.
+func loadSource(file, wl, lang string) (src, name, srcLang string, err error) {
+	if lang != "" && lang != irimport.LangMiniC && lang != irimport.LangIR {
+		return "", "", "", fmt.Errorf("unknown -lang %q (want mc or ll)", lang)
+	}
 	switch {
 	case file != "" && wl != "":
-		return "", "", fmt.Errorf("use either -file or -workload, not both")
+		return "", "", "", fmt.Errorf("use either -file or -workload, not both")
 	case file != "":
 		data, err := os.ReadFile(file)
 		if err != nil {
-			return "", "", err
+			return "", "", "", err
 		}
-		return string(data), file, nil
+		if lang == "" {
+			if lang, err = irimport.DetectLang(file); err != nil {
+				return "", "", "", err
+			}
+		}
+		return string(data), file, lang, nil
 	case wl != "":
 		w, ok := workload.ByName(wl)
 		if !ok {
-			return "", "", fmt.Errorf("unknown workload %q (try -list)", wl)
+			return "", "", "", fmt.Errorf("unknown workload %q (try -list)", wl)
 		}
-		return w.Src, "workload:" + w.Name, nil
+		if lang == "" {
+			lang = w.Lang
+		}
+		return w.Src, "workload:" + w.Name, lang, nil
 	}
-	return "", "", fmt.Errorf("one of -file or -workload is required")
+	return "", "", "", fmt.Errorf("one of -file or -workload is required")
 }
 
 func equalOutputs(out *pipeline.Outcome) bool {

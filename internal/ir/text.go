@@ -1,0 +1,436 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file implements WriteText, the textual LLVM-style serialization
+// of a program — the output half of the external-IR surface whose input
+// half is internal/irimport. The two are designed as a round-trip pair:
+// for any program WriteText can render, irimport.Parse(text) produces a
+// program with identical observable behavior, and rendering that parse
+// again reproduces the text byte for byte (the parse→print→reparse
+// fixed point the importer's tests and fuzz target enforce).
+//
+// The dialect is LLVM-shaped but deliberately loose where this IR is
+// looser than LLVM (see DESIGN.md §14 for the grammar):
+//
+//   - every integer type is an int64 cell; i1..i64 are accepted on
+//     input and i64 is always printed;
+//   - registers may be reassigned (the pre-SSA form the pipeline
+//     consumes); LLVM's single-assignment rule is not imposed;
+//   - opcodes with no LLVM spelling print as equivalent LLVM
+//     instructions: copy prints as `add x, 0`, neg as `sub 0, x`,
+//     not as `xor x, -1`, print as `call void @print(i64 x)`, and
+//     addr-of as `ptrtoint`;
+//   - array and struct objects print as `[N x i64]`; cell accesses
+//     print as a `getelementptr` line feeding the load or store.
+//
+// Memory-SSA artifacts (memphi, dummyload) have no textual form:
+// WriteText returns an error for programs that still carry them.
+// Register phis are printable (so SSA-form programs can be dumped), but
+// the importer lowers them back to predecessor copies, so they do not
+// survive a round trip textually — only semantically.
+
+// WriteText renders prog in the textual IR dialect to w.
+func WriteText(w io.Writer, p *Program) error {
+	var sb strings.Builder
+	for _, g := range p.Globals {
+		writeGlobalText(&sb, g)
+	}
+	for i, f := range p.Funcs {
+		if len(p.Globals) > 0 || i > 0 {
+			sb.WriteByte('\n')
+		}
+		if err := writeFuncText(&sb, f); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// ProgramText renders prog in the textual IR dialect as a string.
+func ProgramText(p *Program) (string, error) {
+	var sb strings.Builder
+	if err := WriteText(&sb, p); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func writeGlobalText(sb *strings.Builder, g *Global) {
+	if g.Size == 1 && !g.IsArray {
+		v := int64(0)
+		if len(g.Init) > 0 {
+			v = g.Init[0]
+		}
+		fmt.Fprintf(sb, "@%s = global i64 %d\n", g.Name, v)
+		return
+	}
+	// Arrays and structs both flatten to [N x i64]: the cells are the
+	// representation; field names are presentation-only and not kept.
+	allZero := true
+	for _, v := range g.Init {
+		if v != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		fmt.Fprintf(sb, "@%s = global [%d x i64] zeroinitializer\n", g.Name, g.Size)
+		return
+	}
+	fmt.Fprintf(sb, "@%s = global [%d x i64] [", g.Name, g.Size)
+	for i := 0; i < g.Size; i++ {
+		v := int64(0)
+		if i < len(g.Init) {
+			v = g.Init[i]
+		}
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(sb, "i64 %d", v)
+	}
+	sb.WriteString("]\n")
+}
+
+// textWriter carries the per-function rendering state.
+type textWriter struct {
+	sb        *strings.Builder
+	f         *Function
+	slotNames map[*Slot]string
+	retty     map[string]string // return type per function name
+	gepN      int               // synthesized pointer-name counter
+}
+
+// funcRetty returns "i64" when any ret in f carries a value, else
+// "void". Functions mixing the two print bare rets as `ret i64 0`,
+// which the interpreter also treats as returning zero.
+func funcRetty(f *Function) string {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpRet && len(in.Args) > 0 {
+				return "i64"
+			}
+		}
+	}
+	return "void"
+}
+
+// slotTextNames assigns each stack slot a printable name: its IR name
+// sanitized to identifier characters, uniquified against the reserved
+// register (%vN), label (bN), and synthesized-pointer (%pN) namespaces
+// and against the other slots.
+func slotTextNames(f *Function) map[*Slot]string {
+	names := make(map[*Slot]string, len(f.Slots))
+	used := make(map[string]bool, len(f.Slots))
+	for i, s := range f.Slots {
+		name := sanitizeIdent(s.Name)
+		if name == "" || reservedTextName(name) || used[name] {
+			name = fmt.Sprintf("%s.s%d", name, i)
+		}
+		used[name] = true
+		names[s] = name
+	}
+	return names
+}
+
+func sanitizeIdent(s string) string {
+	var sb strings.Builder
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '.', c == '_', c == '$':
+			sb.WriteRune(c)
+		default:
+			sb.WriteByte('.')
+		}
+	}
+	out := sb.String()
+	if out != "" && out[0] >= '0' && out[0] <= '9' {
+		out = "." + out
+	}
+	return out
+}
+
+// reservedTextName reports whether name collides with a namespace the
+// printer generates: vN registers, pN synthesized pointers, bN labels.
+func reservedTextName(name string) bool {
+	if len(name) < 2 {
+		return false
+	}
+	switch name[0] {
+	case 'v', 'p', 'b':
+	default:
+		return false
+	}
+	for i := 1; i < len(name); i++ {
+		if name[i] < '0' || name[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func writeFuncText(sb *strings.Builder, f *Function) error {
+	tw := &textWriter{sb: sb, f: f, slotNames: slotTextNames(f)}
+	tw.retty = make(map[string]string)
+	if f.Prog != nil {
+		for _, g := range f.Prog.Funcs {
+			tw.retty[g.Name] = funcRetty(g)
+		}
+	}
+
+	fmt.Fprintf(sb, "define %s @%s(", funcRetty(f), f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(sb, "i64 %%v%d", p)
+	}
+	sb.WriteString(") {\n")
+	for bi, b := range f.Blocks {
+		fmt.Fprintf(sb, "b%d:\n", b.ID)
+		if bi == 0 {
+			for _, s := range f.Slots {
+				if s.Size == 1 && !s.IsArray {
+					fmt.Fprintf(sb, "  %%%s = alloca i64\n", tw.slotNames[s])
+				} else {
+					fmt.Fprintf(sb, "  %%%s = alloca [%d x i64]\n", tw.slotNames[s], s.Size)
+				}
+			}
+		}
+		for _, in := range b.Instrs {
+			if err := tw.writeInstr(in); err != nil {
+				return err
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return nil
+}
+
+func (tw *textWriter) val(v Value) string {
+	if v.IsConst() {
+		return fmt.Sprintf("%d", v.Const())
+	}
+	return fmt.Sprintf("%%v%d", v.Reg())
+}
+
+// ptrTo renders the pointer operand for the cell at loc (plus an
+// optional dynamic index), emitting a getelementptr line first when the
+// cell is not a whole scalar object. It returns the operand text.
+func (tw *textWriter) ptrTo(loc MemLoc, idx *Value) (string, error) {
+	var base string
+	var scalar bool
+	switch loc.Kind {
+	case LocGlobal:
+		base = "@" + loc.Global.Name
+		scalar = loc.Global.Size == 1 && !loc.Global.IsArray
+	case LocSlot:
+		base = "%" + tw.slotNames[loc.Slot]
+		scalar = loc.Slot.Size == 1 && !loc.Slot.IsArray
+	default:
+		return "", fmt.Errorf("ir: WriteText: instruction with no memory location")
+	}
+	if scalar && loc.Offset == 0 && idx == nil {
+		return base, nil
+	}
+	var index string
+	switch {
+	case idx == nil:
+		index = fmt.Sprintf("%d", loc.Offset)
+	case loc.Offset == 0:
+		index = tw.val(*idx)
+	default:
+		return "", fmt.Errorf("ir: WriteText: indexed access with nonzero base offset %d in %s",
+			loc.Offset, tw.f.Name)
+	}
+	name := fmt.Sprintf("%%p%d", tw.gepN)
+	tw.gepN++
+	fmt.Fprintf(tw.sb, "  %s = getelementptr i64, i64* %s, i64 %s\n", name, base, index)
+	return name, nil
+}
+
+// ptrVal renders a pointer held in a register or constant (the loadptr
+// and storeptr operand): registers print bare, constants print as an
+// inttoptr constant expression.
+func (tw *textWriter) ptrVal(v Value) string {
+	if v.IsConst() {
+		return fmt.Sprintf("inttoptr (i64 %d to i64*)", v.Const())
+	}
+	return fmt.Sprintf("%%v%d", v.Reg())
+}
+
+func (tw *textWriter) writeInstr(in *Instr) error {
+	sb := tw.sb
+	emit := func(format string, args ...any) {
+		sb.WriteString("  ")
+		fmt.Fprintf(sb, format, args...)
+		sb.WriteByte('\n')
+	}
+	dst := func() string { return fmt.Sprintf("%%v%d", in.Dst) }
+
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr:
+		emit("%s = %s i64 %s, %s", dst(), textArith[in.Op], tw.val(in.Args[0]), tw.val(in.Args[1]))
+	case OpNeg:
+		emit("%s = sub i64 0, %s", dst(), tw.val(in.Args[0]))
+	case OpNot:
+		emit("%s = xor i64 %s, -1", dst(), tw.val(in.Args[0]))
+	case OpCopy:
+		emit("%s = add i64 %s, 0", dst(), tw.val(in.Args[0]))
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		emit("%s = icmp %s i64 %s, %s", dst(), textCmp[in.Op], tw.val(in.Args[0]), tw.val(in.Args[1]))
+	case OpPhi:
+		var sb2 strings.Builder
+		for i, a := range in.Args {
+			if i > 0 {
+				sb2.WriteString(", ")
+			}
+			lbl := "?"
+			if in.Parent != nil && i < len(in.Parent.Preds) {
+				lbl = fmt.Sprintf("b%d", in.Parent.Preds[i].ID)
+			}
+			fmt.Fprintf(&sb2, "[ %s, %%%s ]", tw.val(a), lbl)
+		}
+		emit("%s = phi i64 %s", dst(), sb2.String())
+	case OpLoad:
+		ptr, err := tw.ptrTo(in.Loc, nil)
+		if err != nil {
+			return err
+		}
+		emit("%s = load i64, i64* %s", dst(), ptr)
+	case OpStore:
+		ptr, err := tw.ptrTo(in.Loc, nil)
+		if err != nil {
+			return err
+		}
+		emit("store i64 %s, i64* %s", tw.val(in.Args[0]), ptr)
+	case OpLoadIdx:
+		idx := in.Args[0]
+		ptr, err := tw.ptrTo(in.Loc, &idx)
+		if err != nil {
+			return err
+		}
+		emit("%s = load i64, i64* %s", dst(), ptr)
+	case OpStoreIdx:
+		idx := in.Args[0]
+		ptr, err := tw.ptrTo(in.Loc, &idx)
+		if err != nil {
+			return err
+		}
+		emit("store i64 %s, i64* %s", tw.val(in.Args[1]), ptr)
+	case OpAddr:
+		ptr, err := tw.ptrTo(in.Loc, nil)
+		if err != nil {
+			return err
+		}
+		emit("%s = ptrtoint i64* %s to i64", dst(), ptr)
+	case OpLoadPtr:
+		emit("%s = load i64, i64* %s", dst(), tw.ptrVal(in.Args[0]))
+	case OpStorePtr:
+		emit("store i64 %s, i64* %s", tw.val(in.Args[1]), tw.ptrVal(in.Args[0]))
+	case OpCall:
+		retty := tw.retty[in.Callee]
+		var args strings.Builder
+		for i, a := range in.Args {
+			if i > 0 {
+				args.WriteString(", ")
+			}
+			fmt.Fprintf(&args, "i64 %s", tw.val(a))
+		}
+		if in.HasDst() {
+			if retty == "" {
+				retty = "i64"
+			}
+			emit("%s = call %s @%s(%s)", dst(), retty, in.Callee, args.String())
+		} else {
+			emit("call void @%s(%s)", in.Callee, args.String())
+		}
+	case OpPrint:
+		emit("call void @print(i64 %s)", tw.val(in.Args[0]))
+	case OpJmp:
+		if in.Parent == nil || len(in.Parent.Succs) != 1 {
+			return fmt.Errorf("ir: WriteText: jmp without single successor in %s", tw.f.Name)
+		}
+		emit("br label %%b%d", in.Parent.Succs[0].ID)
+	case OpBr:
+		if in.Parent == nil || len(in.Parent.Succs) != 2 {
+			return fmt.Errorf("ir: WriteText: br without two successors in %s", tw.f.Name)
+		}
+		emit("br i1 %s, label %%b%d, label %%b%d",
+			tw.val(in.Args[0]), in.Parent.Succs[0].ID, in.Parent.Succs[1].ID)
+	case OpRet:
+		if len(in.Args) > 0 {
+			emit("ret i64 %s", tw.val(in.Args[0]))
+		} else if funcRetty(tw.f) == "i64" {
+			emit("ret i64 0")
+		} else {
+			emit("ret void")
+		}
+	default:
+		return fmt.Errorf("ir: WriteText: %s has no textual form (function %s)", in.Op, tw.f.Name)
+	}
+	return nil
+}
+
+var textArith = map[Op]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "sdiv", OpRem: "srem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "ashr",
+}
+
+var textCmp = map[Op]string{
+	OpEq: "eq", OpNe: "ne", OpLt: "slt", OpLe: "sle", OpGt: "sgt", OpGe: "sge",
+}
+
+// TextRegOrder returns the function's registers in first-mention order
+// of the textual rendering: parameters left to right, then for each
+// instruction in layout order the registers in the order their names
+// appear in the printed line (destination before operands, with the
+// printer's operand-order quirks accounted for). The importer renumbers
+// parsed functions into this order so that printing is a fixed point of
+// parse∘print: a parsed program's registers are always named in
+// ascending first-mention order, which is exactly what a reparse of the
+// printed text would assign.
+func TextRegOrder(f *Function) []RegID {
+	order := make([]RegID, 0, f.NumRegs)
+	seen := make([]bool, f.NumRegs)
+	touch := func(r RegID) {
+		if r != NoReg && int(r) < len(seen) && !seen[r] {
+			seen[r] = true
+			order = append(order, r)
+		}
+	}
+	touchVal := func(v Value) {
+		if !v.IsConst() {
+			touch(v.Reg())
+		}
+	}
+	for _, p := range f.Params {
+		touch(p)
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case OpStorePtr:
+				// Printed as `store i64 VAL, i64* PTR`: value first.
+				touchVal(in.Args[1])
+				touchVal(in.Args[0])
+			case OpLoadIdx:
+				// The getelementptr line (index) precedes the load (dst).
+				touchVal(in.Args[0])
+				touch(in.Dst)
+			default:
+				touch(in.Dst)
+				for _, a := range in.Args {
+					touchVal(a)
+				}
+			}
+		}
+	}
+	return order
+}

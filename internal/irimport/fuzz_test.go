@@ -1,0 +1,58 @@
+package irimport_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irimport"
+)
+
+// FuzzIRImport holds the importer to its two contracts on arbitrary
+// input: it never panics (rejecting with a positioned error is fine),
+// and any module it accepts prints to a textual form that reparses to
+// the same printed form (the parse→print fixed point TestRoundTrip
+// pins on the curated corpus). The real corpus files are the primary
+// seeds; the inline ones carry shapes the corpus keeps well-formed —
+// truncated constructs, stray tokens, empty input.
+func FuzzIRImport(f *testing.F) {
+	for _, file := range corpusFiles(f) {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	for _, s := range []string{
+		"define i64 @main() {\nentry:\n  ret i64 0\n}\n",
+		"@g = global i64 7\ndefine void @main() {\nentry:\n  store i64 1, i64* @g\n  ret void\n}\n",
+		"define i64 @main() {\nentry:\n  br label %l\nl:\n  %v = phi i64 [ 0, %entry ], [ %v, %l ]\n  br label %l\n}\n",
+		"define i64 @main() {", "declare void @print(i64)", "@x = global", "%", "}{", "",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := irimport.Compile(src)
+		if err != nil {
+			return // rejecting bad input is fine; panicking is not
+		}
+		if prog == nil {
+			t.Fatal("Compile returned nil program and nil error")
+		}
+		text, err := ir.ProgramText(prog)
+		if err != nil {
+			t.Fatalf("accepted module does not print: %v\nsource:\n%s", err, src)
+		}
+		prog2, err := irimport.Parse("<printed>", text)
+		if err != nil {
+			t.Fatalf("printed form does not reparse: %v\nprinted:\n%s", err, text)
+		}
+		text2, err := ir.ProgramText(prog2)
+		if err != nil {
+			t.Fatalf("reprint failed: %v", err)
+		}
+		if text2 != text {
+			t.Fatalf("parse→print is not a fixed point:\nfirst:\n%s\nsecond:\n%s", text, text2)
+		}
+	})
+}

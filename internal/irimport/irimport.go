@@ -1,0 +1,66 @@
+// Package irimport ingests textual LLVM-style IR and lowers it into the
+// compiler's ir.Program form, giving the promotion pipeline an input
+// surface beyond the mini-C frontend: CFGs produced by other compilers
+// (clang -O0 style output, hand-written kernels) can be promoted,
+// interpreted, and checked like any native program.
+//
+// # The dialect
+//
+// The accepted language is a documented subset of LLVM textual IR with
+// a few deliberate relaxations that match this IR's semantics (every
+// integer is a signed 64-bit cell, addresses are cell-granular, and
+// registers may be reassigned). In outline:
+//
+//   - module level: `@g = global i64 N`, `@a = global [N x i64]
+//     zeroinitializer|[i64 ...]`, `define`, `declare` (recorded, but
+//     every called function must be defined in the module), and
+//     skippable furniture (source_filename, target, attributes,
+//     metadata, comments);
+//   - types: void, i1..i64 (all widened to 64-bit cells), pointers
+//     (`T*` or opaque `ptr`), and one-dimensional `[N x iM]` arrays;
+//   - instructions: add sub mul sdiv srem and or xor shl ashr, icmp
+//     with signed predicates, zext/sext/trunc/bitcast (no-op copies
+//     after widening), alloca (entry block only), load/store through
+//     globals, allocas, getelementptr results, or runtime pointers,
+//     getelementptr (flat `i64` and two-index `[N x i64]` forms,
+//     constant expressions included), ptrtoint/inttoptr, phi, direct
+//     call (plus the `@print` builtin), br, and ret. Unsigned
+//     operations (udiv, urem, lshr, unsigned icmp), floats, selects,
+//     switches, and atomics are rejected with a positioned error, as
+//     is branching to the entry block.
+//
+// Lowering produces the same pre-SSA shape the mini-C frontend emits —
+// phis become per-predecessor parallel copies (ssa.Build reconstructs
+// them), pointer references to named storage become direct load/store
+// instructions that alias analysis can classify, and address-taken
+// bookkeeping is recorded for the alias analyzer. Registers are
+// renumbered into first-mention order of ir.WriteText, so parse →
+// print → reparse is a byte-identical fixed point; the testdata
+// goldens and FuzzIRImport hold that line.
+package irimport
+
+import (
+	"fmt"
+	"path"
+	"strings"
+)
+
+// Language names accepted across the CLIs and the server.
+const (
+	LangMiniC = "mc" // the native mini-C frontend (internal/source)
+	LangIR    = "ll" // textual IR accepted by this package
+)
+
+// DetectLang maps a source file name to its input language by
+// extension: .mc and .c are mini-C, .ll is textual IR. Unknown
+// extensions are an error so a typo cannot silently parse a file with
+// the wrong frontend; callers expose a -lang flag as the override.
+func DetectLang(file string) (string, error) {
+	switch strings.ToLower(path.Ext(path.Base(file))) {
+	case ".mc", ".c":
+		return LangMiniC, nil
+	case ".ll":
+		return LangIR, nil
+	}
+	return "", fmt.Errorf("cannot detect input language of %q (known: .mc/.c mini-C, .ll textual IR); use -lang mc|ll", file)
+}

@@ -1,0 +1,1087 @@
+package irimport
+
+import (
+	"repro/internal/ir"
+)
+
+// ---- registers and symbols ----
+
+// getReg returns the register for a textual %name, creating it on first
+// mention. Use before definition is allowed (loop-carried values read
+// at a block top before the textual def); body() errors at the end of
+// the function for names that never get a definition.
+func (fp *funcParser) getReg(t token) (ir.RegID, error) {
+	if s, ok := fp.syms[t.text]; ok {
+		_ = s
+		return ir.NoReg, fp.p.errTok(t, "%%%s names memory (alloca/getelementptr), not a value", t.text)
+	}
+	ri, ok := fp.regs[t.text]
+	if !ok {
+		ri = &regInfo{id: fp.f.NewReg(""), firstUse: t.pos}
+		fp.regs[t.text] = ri
+	}
+	return ri.id, nil
+}
+
+// defReg returns the register for an instruction destination %name,
+// marking it defined. Reassignment of an already-defined register is
+// allowed — the importer produces the pre-SSA form ssa.Build expects.
+func (fp *funcParser) defReg(t token) (ir.RegID, error) {
+	r, err := fp.getReg(t)
+	if err != nil {
+		return r, err
+	}
+	fp.regs[t.text].defined = true
+	return r, nil
+}
+
+// defSym records a memory symbol (alloca or getelementptr result).
+func (fp *funcParser) defSym(t token, s *sym) error {
+	if _, clash := fp.regs[t.text]; clash {
+		return fp.p.errTok(t, "%%%s is already used as a value", t.text)
+	}
+	if old, clash := fp.syms[t.text]; clash {
+		return fp.p.errTok(t, "redefinition of %%%s (first defined at %s)", t.text, old.pos)
+	}
+	s.pos = t.pos
+	fp.syms[t.text] = s
+	return nil
+}
+
+func (fp *funcParser) emit(in *ir.Instr) { fp.cur.Append(in) }
+
+// addrTemp emits an addr-of into a fresh temp register and returns it,
+// marking the underlying storage address-taken (the same bookkeeping
+// the mini-C frontend does for `&x`, which alias analysis relies on).
+func (fp *funcParser) addrTemp(loc ir.MemLoc) ir.RegID {
+	markAddrTaken(loc)
+	t := fp.f.NewReg("")
+	in := ir.NewInstr(ir.OpAddr, t)
+	in.Loc = loc
+	fp.emit(in)
+	return t
+}
+
+func markAddrTaken(loc ir.MemLoc) {
+	switch loc.Kind {
+	case ir.LocGlobal:
+		loc.Global.AddrTaken = true
+	case ir.LocSlot:
+		loc.Slot.AddrTaken = true
+	}
+}
+
+// ---- operand resolution ----
+
+// value resolves an operand that is used as an integer value. Pointers
+// to named storage (allocas, globals, constant geps) materialize as
+// addr-of temps; a dynamic gep materializes as addr-of plus add.
+func (fp *funcParser) value(t token) (ir.Value, error) {
+	switch t.kind {
+	case tInt:
+		return ir.ConstVal(t.ival), nil
+	case tWord:
+		switch t.text {
+		case "true":
+			return ir.ConstVal(1), nil
+		case "false", "null", "zeroinitializer":
+			return ir.ConstVal(0), nil
+		case "undef", "poison":
+			return ir.Value{}, fp.p.errTok(t, "undef/poison values are not supported")
+		}
+		return ir.Value{}, fp.p.errTok(t, "expected value, found %s", t.describe())
+	case tGlobal:
+		g := fp.p.prog.FindGlobal(t.text)
+		if g == nil {
+			return ir.Value{}, fp.p.errTok(t, "@%s is not a global (function addresses are not supported)", t.text)
+		}
+		return ir.RegVal(fp.addrTemp(ir.GlobalLoc(g, 0))), nil
+	case tLocal:
+		if s, ok := fp.syms[t.text]; ok {
+			return fp.placeValue(symPlace(s))
+		}
+		r, err := fp.getReg(t)
+		if err != nil {
+			return ir.Value{}, err
+		}
+		return ir.RegVal(r), nil
+	}
+	return ir.Value{}, fp.p.errTok(t, "expected value, found %s", t.describe())
+}
+
+// place is a resolved pointer operand: a direct cell, an array cell
+// selected by an index, or a runtime pointer value.
+type place struct {
+	kind placeKind
+	loc  ir.MemLoc
+	idx  ir.Value
+	ptr  ir.Value
+}
+
+type placeKind int
+
+const (
+	placeLoc placeKind = iota
+	placeIdx
+	placePtr
+)
+
+// placeValue materializes a place as an integer value (its address).
+func (fp *funcParser) placeValue(pl place) (ir.Value, error) {
+	switch pl.kind {
+	case placeLoc:
+		return ir.RegVal(fp.addrTemp(pl.loc)), nil
+	case placeIdx:
+		if pl.idx.IsConst() {
+			loc := pl.loc
+			loc.Offset = int(pl.idx.Const())
+			return ir.RegVal(fp.addrTemp(loc)), nil
+		}
+		base := fp.addrTemp(pl.loc)
+		sum := fp.f.NewReg("")
+		fp.emit(ir.NewInstr(ir.OpAdd, sum, ir.RegVal(base), pl.idx))
+		return ir.RegVal(sum), nil
+	}
+	return pl.ptr, nil
+}
+
+// symPlace converts a memory symbol into a place. Aggregates resolve
+// to their first cell, which is what their base address points at.
+func symPlace(s *sym) place {
+	switch {
+	case s.kind == symSlot && (s.slot.IsArray || s.slot.Size > 1):
+		return place{kind: placeIdx, loc: ir.SlotLoc(s.slot, 0), idx: ir.ConstVal(0)}
+	case s.kind == symSlot:
+		return place{kind: placeLoc, loc: ir.SlotLoc(s.slot, 0)}
+	case s.arr:
+		return place{kind: placeIdx, loc: s.loc, idx: s.idx}
+	default:
+		return place{kind: placeLoc, loc: s.loc}
+	}
+}
+
+// pointer resolves the pointer operand of a load or store; whole
+// aggregates are rejected (index them with getelementptr).
+func (fp *funcParser) pointer() (place, error) { return fp.pointerEx(false) }
+
+// pointerOrSym resolves a pointer operand in address-taking position,
+// where whole aggregates are fine (their address is cell 0).
+func (fp *funcParser) pointerOrSym() (place, error) { return fp.pointerEx(true) }
+
+func (fp *funcParser) pointerEx(allowAgg bool) (place, error) {
+	p := fp.p
+	t := p.next()
+	switch t.kind {
+	case tGlobal:
+		g := p.prog.FindGlobal(t.text)
+		if g == nil {
+			return place{}, p.errTok(t, "unknown global @%s", t.text)
+		}
+		if g.Size != 1 || g.IsArray {
+			if !allowAgg {
+				return place{}, p.errTok(t, "cannot access whole aggregate @%s; use getelementptr", t.text)
+			}
+			return place{kind: placeIdx, loc: ir.GlobalLoc(g, 0), idx: ir.ConstVal(0)}, nil
+		}
+		return place{kind: placeLoc, loc: ir.GlobalLoc(g, 0)}, nil
+	case tLocal:
+		if s, ok := fp.syms[t.text]; ok {
+			if s.kind == symSlot && (s.slot.Size != 1 || s.slot.IsArray) && !allowAgg {
+				return place{}, p.errTok(t, "cannot access whole aggregate %%%s; use getelementptr", t.text)
+			}
+			return symPlace(s), nil
+		}
+		r, err := fp.getReg(t)
+		if err != nil {
+			return place{}, err
+		}
+		return place{kind: placePtr, ptr: ir.RegVal(r)}, nil
+	case tWord:
+		switch t.text {
+		case "null":
+			return place{kind: placePtr, ptr: ir.ConstVal(0)}, nil
+		case "inttoptr":
+			// inttoptr (i64 N to i64*)
+			if _, err := p.expectPunct("("); err != nil {
+				return place{}, err
+			}
+			if _, err := p.parseType(); err != nil {
+				return place{}, err
+			}
+			vt := p.next()
+			if vt.kind != tInt {
+				return place{}, p.errTok(vt, "expected integer in inttoptr constant, found %s", vt.describe())
+			}
+			if !p.acceptWord("to") {
+				return place{}, p.errTok(p.peek(), "expected \"to\" in inttoptr constant")
+			}
+			if _, err := p.parseType(); err != nil {
+				return place{}, err
+			}
+			if _, err := p.expectPunct(")"); err != nil {
+				return place{}, err
+			}
+			return place{kind: placePtr, ptr: ir.ConstVal(vt.ival)}, nil
+		case "getelementptr":
+			// Constant expression: getelementptr [inbounds] (TY, TY* @g, ...)
+			p.acceptWord("inbounds")
+			if _, err := p.expectPunct("("); err != nil {
+				return place{}, err
+			}
+			elem, err := p.parseType()
+			if err != nil {
+				return place{}, err
+			}
+			if _, err := p.expectPunct(","); err != nil {
+				return place{}, err
+			}
+			if _, err := p.parseType(); err != nil {
+				return place{}, err
+			}
+			base := p.next()
+			if base.kind != tGlobal {
+				return place{}, p.errTok(base, "constant getelementptr base must be a global")
+			}
+			idx, err := fp.gepIndexes(base, elem)
+			if err != nil {
+				return place{}, err
+			}
+			if _, err := p.expectPunct(")"); err != nil {
+				return place{}, err
+			}
+			s, err := fp.resolveGepTarget(base, idx)
+			if err != nil {
+				return place{}, err
+			}
+			return symPlace(s), nil
+		}
+	}
+	return place{}, p.errTok(t, "expected pointer operand, found %s", t.describe())
+}
+
+// ---- instructions ----
+
+var arithOps = map[string]ir.Op{
+	"add": ir.OpAdd, "sub": ir.OpSub, "mul": ir.OpMul,
+	"sdiv": ir.OpDiv, "srem": ir.OpRem,
+	"and": ir.OpAnd, "or": ir.OpOr, "xor": ir.OpXor,
+	"shl": ir.OpShl, "ashr": ir.OpShr,
+}
+
+var cmpPreds = map[string]ir.Op{
+	"eq": ir.OpEq, "ne": ir.OpNe,
+	"slt": ir.OpLt, "sle": ir.OpLe, "sgt": ir.OpGt, "sge": ir.OpGe,
+}
+
+// instr parses one instruction into the current block.
+func (fp *funcParser) instr() error {
+	p := fp.p
+	t := p.next()
+	if t.kind == tLocal {
+		dst := t
+		if _, err := p.expectPunct("="); err != nil {
+			return err
+		}
+		op := p.next()
+		if op.kind != tWord {
+			return p.errTok(op, "expected instruction, found %s", op.describe())
+		}
+		return fp.valueInstr(dst, op)
+	}
+	if t.kind != tWord {
+		return p.errTok(t, "expected instruction, found %s", t.describe())
+	}
+	switch t.text {
+	case "store":
+		return fp.store()
+	case "call", "tail":
+		if t.text == "tail" && !p.acceptWord("call") {
+			return p.errTok(p.peek(), "expected \"call\" after \"tail\"")
+		}
+		return fp.call(token{}, t.pos, false)
+	case "br":
+		return fp.branch(t)
+	case "ret":
+		return fp.ret(t)
+	case "switch", "unreachable", "indirectbr", "invoke", "resume":
+		return p.errTok(t, "%q is outside the supported dialect (see DESIGN.md §14)", t.text)
+	case "fence", "atomicrmw", "cmpxchg":
+		return p.errTok(t, "atomic instruction %q is not supported", t.text)
+	}
+	return p.errTok(t, "unknown instruction %q", t.text)
+}
+
+// valueInstr parses `%dst = <op> ...`.
+func (fp *funcParser) valueInstr(dst, op token) error {
+	p := fp.p
+	switch op.text {
+	case "add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "ashr":
+		for p.acceptWord("nuw") || p.acceptWord("nsw") || p.acceptWord("exact") || p.acceptWord("disjoint") {
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		if !ty.isInt() {
+			return p.errTok(op, "%s requires an integer type", op.text)
+		}
+		a, err := fp.operand()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expectPunct(","); err != nil {
+			return err
+		}
+		b, err := fp.operand()
+		if err != nil {
+			return err
+		}
+		d, err := fp.defReg(dst)
+		if err != nil {
+			return err
+		}
+		fp.emit(ir.NewInstr(arithOps[op.text], d, a, b))
+		return nil
+
+	case "udiv", "urem", "lshr":
+		return p.errTok(op, "unsigned %s is outside the dialect (values are signed 64-bit; use sdiv/srem/ashr)", op.text)
+
+	case "icmp":
+		pred := p.next()
+		if pred.kind != tWord {
+			return p.errTok(pred, "expected icmp predicate, found %s", pred.describe())
+		}
+		irop, ok := cmpPreds[pred.text]
+		if !ok {
+			switch pred.text {
+			case "ugt", "uge", "ult", "ule":
+				return p.errTok(pred, "unsigned predicate %s is outside the dialect (use signed slt/sle/sgt/sge)", pred.text)
+			}
+			return p.errTok(pred, "unknown icmp predicate %q", pred.text)
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		if !ty.isInt() && !ty.isPtr() {
+			return p.errTok(op, "icmp requires integer or pointer operands")
+		}
+		a, err := fp.operand()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expectPunct(","); err != nil {
+			return err
+		}
+		b, err := fp.operand()
+		if err != nil {
+			return err
+		}
+		d, err := fp.defReg(dst)
+		if err != nil {
+			return err
+		}
+		fp.emit(ir.NewInstr(irop, d, a, b))
+		return nil
+
+	case "phi":
+		if _, err := p.parseType(); err != nil {
+			return err
+		}
+		if len(fp.cur.Instrs) > 0 {
+			return p.errTok(op, "phi must be at the top of its block")
+		}
+		d, err := fp.defReg(dst)
+		if err != nil {
+			return err
+		}
+		rec := phiRec{blk: fp.cur, dst: d, pos: op.pos}
+		for {
+			if _, err := p.expectPunct("["); err != nil {
+				return err
+			}
+			v, err := fp.operand()
+			if err != nil {
+				return err
+			}
+			if _, err := p.expectPunct(","); err != nil {
+				return err
+			}
+			lt := p.next()
+			if lt.kind != tLocal {
+				return p.errTok(lt, "expected predecessor label in phi, found %s", lt.describe())
+			}
+			if _, err := p.expectPunct("]"); err != nil {
+				return err
+			}
+			rec.vals = append(rec.vals, v)
+			rec.labels = append(rec.labels, lt.text)
+			rec.lpos = append(rec.lpos, lt.pos)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		fp.phis = append(fp.phis, rec)
+		return nil
+
+	case "load":
+		ty, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		if !ty.isInt() {
+			return p.errTok(op, "only integer loads are supported")
+		}
+		if _, err := p.expectPunct(","); err != nil {
+			return err
+		}
+		if _, err := p.parseType(); err != nil {
+			return err
+		}
+		pl, err := fp.pointer()
+		if err != nil {
+			return err
+		}
+		d, err := fp.defReg(dst)
+		if err != nil {
+			return err
+		}
+		switch pl.kind {
+		case placeLoc:
+			in := ir.NewInstr(ir.OpLoad, d)
+			in.Loc = pl.loc
+			fp.emit(in)
+		case placeIdx:
+			in := ir.NewInstr(ir.OpLoadIdx, d, pl.idx)
+			in.Loc = pl.loc
+			fp.emit(in)
+		case placePtr:
+			fp.emit(ir.NewInstr(ir.OpLoadPtr, d, pl.ptr))
+		}
+		p.skipAlign()
+		return nil
+
+	case "alloca":
+		if fp.cur != fp.f.Blocks[0] {
+			return p.errTok(op, "alloca outside the entry block is not supported")
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		var slot *ir.Slot
+		switch {
+		case ty.isInt():
+			slot = fp.f.NewSlot(dst.text, 1, false, nil)
+		case ty.arr && ty.ptr == 0:
+			slot = fp.f.NewSlot(dst.text, ty.n, true, nil)
+		default:
+			return p.errTok(op, "alloca of unsupported type (want iN or [N x iN])")
+		}
+		p.skipAlign()
+		return fp.defSym(dst, &sym{kind: symSlot, slot: slot})
+
+	case "getelementptr":
+		return fp.gep(dst, op)
+
+	case "ptrtoint":
+		if _, err := p.parseType(); err != nil {
+			return err
+		}
+		pl, err := fp.pointerOrSym()
+		if err != nil {
+			return err
+		}
+		if !p.acceptWord("to") {
+			return p.errTok(p.peek(), "expected \"to\" in ptrtoint")
+		}
+		if _, err := p.parseType(); err != nil {
+			return err
+		}
+		d, err := fp.defReg(dst)
+		if err != nil {
+			return err
+		}
+		switch pl.kind {
+		case placeLoc:
+			markAddrTaken(pl.loc)
+			in := ir.NewInstr(ir.OpAddr, d)
+			in.Loc = pl.loc
+			fp.emit(in)
+		case placeIdx:
+			if pl.idx.IsConst() {
+				loc := pl.loc
+				loc.Offset = int(pl.idx.Const())
+				markAddrTaken(loc)
+				in := ir.NewInstr(ir.OpAddr, d)
+				in.Loc = loc
+				fp.emit(in)
+			} else {
+				base := fp.addrTemp(pl.loc)
+				fp.emit(ir.NewInstr(ir.OpAdd, d, ir.RegVal(base), pl.idx))
+			}
+		case placePtr:
+			fp.emit(ir.NewInstr(ir.OpCopy, d, pl.ptr))
+		}
+		return nil
+
+	case "inttoptr", "zext", "sext", "trunc", "bitcast":
+		v, err := fp.castOperand(op)
+		if err != nil {
+			return err
+		}
+		d, err := fp.defReg(dst)
+		if err != nil {
+			return err
+		}
+		fp.emit(ir.NewInstr(ir.OpCopy, d, v))
+		return nil
+
+	case "call", "tail":
+		if op.text == "tail" && !p.acceptWord("call") {
+			return p.errTok(p.peek(), "expected \"call\" after \"tail\"")
+		}
+		return fp.call(dst, op.pos, true)
+
+	case "select", "freeze", "fadd", "fsub", "fmul", "fdiv":
+		return p.errTok(op, "%q is outside the supported dialect (see DESIGN.md §14)", op.text)
+	}
+	return p.errTok(op, "unknown instruction %q", op.text)
+}
+
+// operand parses and resolves one value operand (with the
+// getelementptr/inttoptr constant-expression forms reduced through the
+// pointer path when they appear in value position).
+func (fp *funcParser) operand() (ir.Value, error) {
+	if t := fp.p.peek(); t.kind == tWord && (t.text == "inttoptr" || t.text == "getelementptr") {
+		pl, err := fp.pointerOrSym()
+		if err != nil {
+			return ir.Value{}, err
+		}
+		return fp.placeValue(pl)
+	}
+	return fp.value(fp.p.next())
+}
+
+// castOperand parses `TYPE VAL to TYPE` and returns VAL as a value.
+func (fp *funcParser) castOperand(op token) (ir.Value, error) {
+	p := fp.p
+	if _, err := p.parseType(); err != nil {
+		return ir.Value{}, err
+	}
+	v, err := fp.operand()
+	if err != nil {
+		return ir.Value{}, err
+	}
+	if !p.acceptWord("to") {
+		return ir.Value{}, p.errTok(p.peek(), "expected \"to\" in %s", op.text)
+	}
+	if _, err := p.parseType(); err != nil {
+		return ir.Value{}, err
+	}
+	return v, nil
+}
+
+func (p *parser) skipAlign() {
+	for p.acceptPunct(",") {
+		if p.acceptWord("align") {
+			if p.peek().kind == tInt {
+				p.i++
+			}
+			continue
+		}
+		// Unknown trailing clause: put the comma back for the caller's
+		// error message.
+		p.unread()
+		return
+	}
+}
+
+func (fp *funcParser) store() error {
+	p := fp.p
+	ty, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	if !ty.isInt() && !ty.isPtr() {
+		return p.errTok(p.peek(), "only integer and pointer stores are supported")
+	}
+	v, err := fp.operand()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expectPunct(","); err != nil {
+		return err
+	}
+	if _, err := p.parseType(); err != nil {
+		return err
+	}
+	pl, err := fp.pointer()
+	if err != nil {
+		return err
+	}
+	switch pl.kind {
+	case placeLoc:
+		in := ir.NewInstr(ir.OpStore, ir.NoReg, v)
+		in.Loc = pl.loc
+		fp.emit(in)
+	case placeIdx:
+		in := ir.NewInstr(ir.OpStoreIdx, ir.NoReg, pl.idx, v)
+		in.Loc = pl.loc
+		fp.emit(in)
+	case placePtr:
+		fp.emit(ir.NewInstr(ir.OpStorePtr, ir.NoReg, pl.ptr, v))
+	}
+	p.skipAlign()
+	return nil
+}
+
+// call parses a call; dst is the zero token for statement calls.
+func (fp *funcParser) call(dst token, pos Pos, hasDst bool) error {
+	p := fp.p
+	for p.peek().kind == tWord && !p.typeStart() {
+		p.i++ // calling convention / fn attrs
+	}
+	retty, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	// A literal function type like `i64 (i64, i64)` before the callee
+	// is not emitted by the producers this dialect targets; the callee
+	// must follow directly.
+	ct := p.next()
+	if ct.kind != tGlobal {
+		return p.errTok(ct, "expected direct callee @name, found %s (indirect calls are not supported)", ct.describe())
+	}
+	if _, err := p.expectPunct("("); err != nil {
+		return err
+	}
+	var args []ir.Value
+	for !p.acceptPunct(")") {
+		if len(args) > 0 {
+			if _, err := p.expectPunct(","); err != nil {
+				return err
+			}
+		}
+		if _, err := p.parseType(); err != nil {
+			return err
+		}
+		for p.peek().kind == tWord { // argument attributes
+			switch p.peek().text {
+			case "true", "false", "null", "undef", "poison", "zeroinitializer", "inttoptr", "getelementptr":
+			default:
+				p.i++
+				continue
+			}
+			break
+		}
+		v, err := fp.operand()
+		if err != nil {
+			return err
+		}
+		args = append(args, v)
+	}
+	if ct.text == "print" {
+		if hasDst {
+			return p.errAt(pos, "@print returns no value")
+		}
+		if len(args) != 1 {
+			return p.errAt(pos, "@print takes exactly one argument")
+		}
+		fp.emit(ir.NewInstr(ir.OpPrint, ir.NoReg, args[0]))
+		return nil
+	}
+	d := ir.NoReg
+	if hasDst {
+		if retty.void {
+			return p.errAt(pos, "cannot name the result of a void call")
+		}
+		d, err = fp.defReg(dst)
+		if err != nil {
+			return err
+		}
+	}
+	in := ir.NewInstr(ir.OpCall, d, args...)
+	in.Callee = ct.text
+	fp.emit(in)
+	p.calls = append(p.calls, callSite{callee: ct.text, nargs: len(args), hasDst: hasDst, pos: pos})
+	return nil
+}
+
+func (fp *funcParser) branch(t token) error {
+	p := fp.p
+	if p.acceptWord("label") {
+		bt := p.next()
+		if bt.kind != tLocal {
+			return p.errTok(bt, "expected block label, found %s", bt.describe())
+		}
+		b, ok := fp.blocks[bt.text]
+		if !ok {
+			return p.errTok(bt, "branch to unknown label %%%s", bt.text)
+		}
+		fp.emit(ir.NewInstr(ir.OpJmp, ir.NoReg))
+		ir.AddEdge(fp.cur, b)
+		fp.done = true
+		return nil
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	if !ty.isInt() {
+		return p.errTok(t, "conditional branch needs an integer condition")
+	}
+	cond, err := fp.operand()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expectPunct(","); err != nil {
+		return err
+	}
+	readTarget := func() (*ir.Block, string, error) {
+		if !p.acceptWord("label") {
+			return nil, "", p.errTok(p.peek(), "expected \"label\" in br")
+		}
+		bt := p.next()
+		if bt.kind != tLocal {
+			return nil, "", p.errTok(bt, "expected block label, found %s", bt.describe())
+		}
+		b, ok := fp.blocks[bt.text]
+		if !ok {
+			return nil, "", p.errTok(bt, "branch to unknown label %%%s", bt.text)
+		}
+		return b, bt.text, nil
+	}
+	thenB, _, err := readTarget()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expectPunct(","); err != nil {
+		return err
+	}
+	elseB, _, err := readTarget()
+	if err != nil {
+		return err
+	}
+	if thenB == elseB {
+		// A two-way branch to one target is a jump; ir.Verify rejects
+		// duplicate successor edges.
+		fp.emit(ir.NewInstr(ir.OpJmp, ir.NoReg))
+		ir.AddEdge(fp.cur, thenB)
+	} else {
+		fp.emit(ir.NewInstr(ir.OpBr, ir.NoReg, cond))
+		ir.AddEdge(fp.cur, thenB)
+		ir.AddEdge(fp.cur, elseB)
+	}
+	fp.done = true
+	return nil
+}
+
+func (fp *funcParser) ret(t token) error {
+	p := fp.p
+	ty, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	if ty.void {
+		if fp.retty.isInt() {
+			return p.errTok(t, "ret void in function returning an integer")
+		}
+		fp.emit(ir.NewInstr(ir.OpRet, ir.NoReg))
+		fp.done = true
+		return nil
+	}
+	if !ty.isInt() {
+		return p.errTok(t, "only integer returns are supported")
+	}
+	if fp.retty.void {
+		return p.errTok(t, "ret with a value in a void function")
+	}
+	v, err := fp.operand()
+	if err != nil {
+		return err
+	}
+	fp.emit(ir.NewInstr(ir.OpRet, ir.NoReg, v))
+	fp.done = true
+	return nil
+}
+
+// gep parses `%dst = getelementptr [inbounds] TY, TY* BASE, i64 IDX
+// [, i64 IDX2]`. Over named storage it is purely symbolic — the result
+// records which cell is addressed and no IR is emitted; over a runtime
+// pointer it lowers to integer arithmetic (addresses are cell-granular
+// in the interpreter's flat arena, so an i64 element step is +1).
+func (fp *funcParser) gep(dst, op token) error {
+	p := fp.p
+	p.acceptWord("inbounds")
+	elem, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	if !elem.isInt() && !(elem.arr && elem.ptr == 0) {
+		return p.errTok(op, "getelementptr over unsupported element type")
+	}
+	if _, err := p.expectPunct(","); err != nil {
+		return err
+	}
+	if _, err := p.parseType(); err != nil {
+		return err
+	}
+	base := p.next()
+	if _, err := p.expectPunct(","); err != nil {
+		return err
+	}
+	// Pointer in a register: lower to integer arithmetic and define
+	// %dst as a plain value.
+	if base.kind == tLocal {
+		if _, isSym := fp.syms[base.text]; !isSym {
+			idx, err := fp.gepIndexTail(op, elem)
+			if err != nil {
+				return err
+			}
+			p.skipAlign()
+			r, err := fp.getReg(base)
+			if err != nil {
+				return err
+			}
+			d, err := fp.defReg(dst)
+			if err != nil {
+				return err
+			}
+			if idx.IsConst() && idx.Const() == 0 {
+				fp.emit(ir.NewInstr(ir.OpCopy, d, ir.RegVal(r)))
+			} else {
+				fp.emit(ir.NewInstr(ir.OpAdd, d, ir.RegVal(r), idx))
+			}
+			return nil
+		}
+	}
+	idx, err := fp.gepIndexTail(op, elem)
+	if err != nil {
+		return err
+	}
+	if p.isPunct(",") && (p.toks[p.i+1].kind != tWord || p.toks[p.i+1].text != "align") {
+		return p.errTok(op, "multi-dimensional getelementptr is not supported")
+	}
+	p.skipAlign()
+	s, err := fp.resolveGepTarget(base, idx)
+	if err != nil {
+		return err
+	}
+	return fp.defSym(dst, s)
+}
+
+// gepIndexes parses the `, i64 I` / `, i64 0, i64 J` index tail of a
+// getelementptr whose leading comma has not been consumed yet.
+func (fp *funcParser) gepIndexes(base token, elem typ) (ir.Value, error) {
+	if _, err := fp.p.expectPunct(","); err != nil {
+		return ir.Value{}, err
+	}
+	return fp.gepIndexTail(base, elem)
+}
+
+// gepIndexTail parses the indexes after the leading comma. The
+// two-index clang form over [N x i64] steps the whole object first
+// (that index must be 0) and selects the cell second; the flat i64 form
+// takes a single index.
+func (fp *funcParser) gepIndexTail(at token, elem typ) (ir.Value, error) {
+	p := fp.p
+	readIndex := func() (ir.Value, error) {
+		it, err := p.parseType()
+		if err != nil {
+			return ir.Value{}, err
+		}
+		if !it.isInt() {
+			return ir.Value{}, p.errTok(at, "getelementptr index must be an integer")
+		}
+		return fp.operand()
+	}
+	idx, err := readIndex()
+	if err != nil {
+		return ir.Value{}, err
+	}
+	if !elem.arr {
+		return idx, nil
+	}
+	if !idx.IsConst() || idx.Const() != 0 {
+		return ir.Value{}, p.errTok(at, "first getelementptr index over an array type must be 0")
+	}
+	if _, err := p.expectPunct(","); err != nil {
+		return ir.Value{}, err
+	}
+	return readIndex()
+}
+
+// resolveGepTarget resolves a getelementptr over named storage (a
+// global or an alloca) into a memory symbol, range-checking constant
+// indexes against the object size.
+func (fp *funcParser) resolveGepTarget(base token, idx ir.Value) (*sym, error) {
+	p := fp.p
+	var loc ir.MemLoc
+	var size int
+	var isArr bool
+	switch base.kind {
+	case tGlobal:
+		g := p.prog.FindGlobal(base.text)
+		if g == nil {
+			return nil, p.errTok(base, "unknown global @%s", base.text)
+		}
+		loc, size, isArr = ir.GlobalLoc(g, 0), g.Size, g.IsArray
+	case tLocal:
+		s, ok := fp.syms[base.text]
+		if !ok || s.kind != symSlot {
+			if ok {
+				return nil, p.errTok(base, "getelementptr of a getelementptr is not supported; index the base object directly")
+			}
+			return nil, p.errTok(base, "unknown getelementptr base %%%s", base.text)
+		}
+		loc, size, isArr = ir.SlotLoc(s.slot, 0), s.slot.Size, s.slot.IsArray
+	default:
+		return nil, p.errTok(base, "expected getelementptr base, found %s", base.describe())
+	}
+	if idx.IsConst() && (idx.Const() < 0 || idx.Const() >= int64(size)) {
+		return nil, p.errTok(base, "constant index %d out of range for %s (size %d)",
+			idx.Const(), base.describe(), size)
+	}
+	s := &sym{kind: symGep, loc: loc, arr: isArr}
+	switch {
+	case isArr:
+		s.idx = idx
+	case idx.IsConst():
+		s.loc.Offset = int(idx.Const())
+	default:
+		return nil, p.errTok(base, "dynamic index into non-array object %s", base.describe())
+	}
+	return s, nil
+}
+
+// ---- phi lowering ----
+
+// lowerPhis rewrites the function's phis into copies in the
+// predecessors. All phis of all successors of a predecessor P form one
+// parallel move: every source is read before any destination is
+// written (via fresh temps when a destination also appears as a
+// source), which keeps swap-shaped phi cycles and cross-successor
+// reads on critical edges correct without edge splitting.
+func (fp *funcParser) lowerPhis() error {
+	p := fp.p
+	type move struct{ dst ir.RegID; src ir.Value }
+	perPred := map[*ir.Block][]move{}
+
+	for _, rec := range fp.phis {
+		preds := rec.blk.Preds
+		if len(rec.vals) != len(preds) {
+			return p.errAt(rec.pos, "phi has %d incoming values, block has %d predecessors",
+				len(rec.vals), len(preds))
+		}
+		seen := make(map[*ir.Block]bool, len(preds))
+		for j, lbl := range rec.labels {
+			pb, ok := fp.blocks[lbl]
+			if !ok {
+				return p.errAt(rec.lpos[j], "phi references unknown label %%%s", lbl)
+			}
+			found := false
+			for _, pred := range preds {
+				if pred == pb {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return p.errAt(rec.lpos[j], "%%%s is not a predecessor of the phi's block", lbl)
+			}
+			if seen[pb] {
+				return p.errAt(rec.lpos[j], "duplicate phi entry for %%%s", lbl)
+			}
+			seen[pb] = true
+			perPred[pb] = append(perPred[pb], move{dst: rec.dst, src: rec.vals[j]})
+		}
+	}
+
+	// Deterministic emission order: predecessors in layout order.
+	for _, pred := range fp.f.Blocks {
+		moves := perPred[pred]
+		if len(moves) == 0 {
+			continue
+		}
+		inDst := func(v ir.Value) bool {
+			if v.IsConst() {
+				return false
+			}
+			for _, m := range moves {
+				if m.dst == v.Reg() {
+					return true
+				}
+			}
+			return false
+		}
+		// The branch condition is evaluated after the copies run, so a
+		// condition register that is also a phi destination must be
+		// snapshotted first.
+		if term := pred.Term(); term != nil && term.Op == ir.OpBr && inDst(term.Args[0]) {
+			t := fp.f.NewReg("")
+			pred.InsertBeforeTerm(ir.NewInstr(ir.OpCopy, t, term.Args[0]))
+			term.Args[0] = ir.RegVal(t)
+		}
+		twoPhase := false
+		for _, m := range moves {
+			if inDst(m.src) {
+				twoPhase = true
+				break
+			}
+		}
+		if twoPhase {
+			temps := make([]ir.RegID, len(moves))
+			for i, m := range moves {
+				temps[i] = fp.f.NewReg("")
+				pred.InsertBeforeTerm(ir.NewInstr(ir.OpCopy, temps[i], m.src))
+			}
+			for i, m := range moves {
+				pred.InsertBeforeTerm(ir.NewInstr(ir.OpCopy, m.dst, ir.RegVal(temps[i])))
+			}
+		} else {
+			for _, m := range moves {
+				pred.InsertBeforeTerm(ir.NewInstr(ir.OpCopy, m.dst, m.src))
+			}
+		}
+	}
+	return nil
+}
+
+// renumberRegs permutes register IDs into the textual first-mention
+// order of ir.WriteText, making the printer a fixed point over parsed
+// programs.
+func (fp *funcParser) renumberRegs() {
+	f := fp.f
+	order := ir.TextRegOrder(f)
+	perm := make([]ir.RegID, f.NumRegs)
+	for i := range perm {
+		perm[i] = ir.NoReg
+	}
+	next := 0
+	for _, r := range order {
+		perm[r] = ir.RegID(next)
+		next++
+	}
+	for r := range perm {
+		if perm[r] == ir.NoReg {
+			perm[r] = ir.RegID(next)
+			next++
+		}
+	}
+	for i, r := range f.Params {
+		f.Params[i] = perm[r]
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dst != ir.NoReg {
+				in.Dst = perm[in.Dst]
+			}
+			for i, a := range in.Args {
+				if !a.IsConst() {
+					in.Args[i] = ir.RegVal(perm[a.Reg()])
+				}
+			}
+		}
+	}
+}

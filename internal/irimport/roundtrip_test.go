@@ -1,0 +1,98 @@
+package irimport_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irimport"
+)
+
+var update = flag.Bool("update", false, "rewrite the testdata goldens")
+
+func corpusFiles(t testing.TB) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "*.ll"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata corpus")
+	}
+	return files
+}
+
+// TestRoundTrip pins the printer-parser fixed point on the corpus:
+// print(parse(input)) must match the golden, and the golden must be a
+// byte-identical fixed point of another parse→print trip.
+func TestRoundTrip(t *testing.T) {
+	for _, file := range corpusFiles(t) {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := irimport.Parse(file, string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			text, err := ir.ProgramText(prog)
+			if err != nil {
+				t.Fatalf("print: %v", err)
+			}
+			golden := file + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(text), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/irimport -update` to generate)", err)
+			}
+			if text != string(want) {
+				t.Fatalf("print(parse(%s)) differs from golden:\n%s", file, diffHint(string(want), text))
+			}
+
+			// The golden must be a fixed point.
+			prog2, err := irimport.Parse(golden, text)
+			if err != nil {
+				t.Fatalf("reparse of printed form: %v", err)
+			}
+			text2, err := ir.ProgramText(prog2)
+			if err != nil {
+				t.Fatalf("reprint: %v", err)
+			}
+			if text2 != text {
+				t.Fatalf("parse→print is not a fixed point for %s:\n%s", file, diffHint(text, text2))
+			}
+		})
+	}
+}
+
+func diffHint(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return "line " + itoa(i+1) + ":\n  want: " + wl[i] + "\n  got:  " + gl[i]
+		}
+	}
+	return "lengths differ: want " + itoa(len(wl)) + " lines, got " + itoa(len(gl))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,30 @@
+; mem2reg-style SSA: an if/else diamond joined by a phi.
+define dso_local i64 @classify(i64 %x) {
+entry:
+  %cmp = icmp sgt i64 %x, 10
+  br i1 %cmp, label %if.then, label %if.else
+
+if.then:
+  %mul = mul nsw i64 %x, 3
+  br label %if.end
+
+if.else:
+  %add = add nsw i64 %x, 100
+  br label %if.end
+
+if.end:
+  %r = phi i64 [ %mul, %if.then ], [ %add, %if.else ]
+  ret i64 %r
+}
+
+define dso_local i64 @main() {
+entry:
+  %a = call i64 @classify(i64 4)
+  %b = call i64 @classify(i64 40)
+  call void @print(i64 %a)
+  call void @print(i64 %b)
+  %sum = add nsw i64 %a, %b
+  ret i64 %sum
+}
+
+declare void @print(i64)

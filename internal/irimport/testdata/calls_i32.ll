@@ -1,0 +1,26 @@
+; Narrow integer types and casts: the dialect widens every iN to a
+; 64-bit cell, so zext/sext/trunc are value-preserving copies here.
+define i32 @square(i32 %n) {
+entry:
+  %m = mul nsw i32 %n, %n
+  ret i32 %m
+}
+
+define i32 @twice(i32 %n) {
+entry:
+  %a = call i32 @square(i32 %n)
+  %w = zext i32 %a to i64
+  %t = trunc i64 %w to i32
+  %b = add nsw i32 %t, %a
+  ret i32 %b
+}
+
+define i64 @main() {
+entry:
+  %r = call i32 @twice(i32 6)
+  %x = sext i32 %r to i64
+  call void @print(i64 %x)
+  ret i64 %x
+}
+
+declare void @print(i64)

@@ -1,0 +1,34 @@
+; An eBPF-style hashing kernel: a fold round per key cell, all
+; arithmetic masked into a bounded range.
+@keys = global [6 x i64] [i64 104, i64 97, i64 115, i64 104, i64 109, i64 101]
+
+define i64 @fold(i64 %h, i64 %k) {
+entry:
+  %x = xor i64 %h, %k
+  %s = shl i64 %x, 5
+  %t = ashr i64 %x, 2
+  %m = add i64 %s, %t
+  %r = and i64 %m, 1048575
+  ret i64 %r
+}
+
+define i64 @main() {
+entry:
+  br label %loop
+
+loop:
+  %i = phi i64 [ 0, %entry ], [ %inc, %loop ]
+  %h = phi i64 [ 5381, %entry ], [ %nh, %loop ]
+  %p = getelementptr [6 x i64], [6 x i64]* @keys, i64 0, i64 %i
+  %k = load i64, i64* %p
+  %nh = call i64 @fold(i64 %h, i64 %k)
+  %inc = add i64 %i, 1
+  %cmp = icmp slt i64 %inc, 6
+  br i1 %cmp, label %loop, label %exit
+
+exit:
+  call void @print(i64 %nh)
+  ret i64 %nh
+}
+
+declare void @print(i64)

@@ -1,0 +1,47 @@
+; Shared global counters updated from a helper, with a dynamic
+; getelementptr over a global table.
+@hits = global i64 0
+@misses = global i64 0
+@table = global [4 x i64] zeroinitializer
+
+define void @bump(i64 %key) {
+entry:
+  %slot = srem i64 %key, 4
+  %p = getelementptr i64, i64* @table, i64 %slot
+  %v = load i64, i64* %p
+  %cmp = icmp eq i64 %v, 0
+  br i1 %cmp, label %miss, label %hit
+
+miss:
+  %m = load i64, i64* @misses
+  %m1 = add i64 %m, 1
+  store i64 %m1, i64* @misses
+  br label %done
+
+hit:
+  %h = load i64, i64* @hits
+  %h1 = add i64 %h, 1
+  store i64 %h1, i64* @hits
+  br label %done
+
+done:
+  %nv = add i64 %v, 1
+  store i64 %nv, i64* %p
+  ret void
+}
+
+define i64 @main() {
+entry:
+  call void @bump(i64 3)
+  call void @bump(i64 7)
+  call void @bump(i64 11)
+  call void @bump(i64 6)
+  %h = load i64, i64* @hits
+  %m = load i64, i64* @misses
+  call void @print(i64 %h)
+  call void @print(i64 %m)
+  %score = sub i64 %h, %m
+  ret i64 %score
+}
+
+declare void @print(i64)

@@ -1,0 +1,40 @@
+; clang -O0 style counted loop summing a global array through allocas.
+source_filename = "loop_sum.c"
+
+@arr = dso_local global [8 x i64] [i64 1, i64 2, i64 3, i64 4, i64 5, i64 6, i64 7, i64 8], align 16
+
+define dso_local i64 @main() {
+entry:
+  %sum = alloca i64, align 8
+  %i = alloca i64, align 8
+  store i64 0, i64* %sum, align 8
+  store i64 0, i64* %i, align 8
+  br label %for.cond
+
+for.cond:
+  %0 = load i64, i64* %i, align 8
+  %cmp = icmp slt i64 %0, 8
+  br i1 %cmp, label %for.body, label %for.end
+
+for.body:
+  %1 = load i64, i64* %i, align 8
+  %arrayidx = getelementptr inbounds [8 x i64], [8 x i64]* @arr, i64 0, i64 %1
+  %2 = load i64, i64* %arrayidx, align 8
+  %3 = load i64, i64* %sum, align 8
+  %add = add nsw i64 %3, %2
+  store i64 %add, i64* %sum, align 8
+  br label %for.inc
+
+for.inc:
+  %4 = load i64, i64* %i, align 8
+  %inc = add nsw i64 %4, 1
+  store i64 %inc, i64* %i, align 8
+  br label %for.cond
+
+for.end:
+  %5 = load i64, i64* %sum, align 8
+  call void @print(i64 %5)
+  ret i64 %5
+}
+
+declare void @print(i64)

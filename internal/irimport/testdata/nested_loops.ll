@@ -1,0 +1,57 @@
+; Nested loops over a flattened 3x4 grid: the outer counter lives in an
+; alloca (O0 style), the inner one in a phi (mem2reg style).
+@grid = global [12 x i64] zeroinitializer
+
+define i64 @main() {
+entry:
+  %i = alloca i64
+  store i64 0, i64* %i
+  br label %outer.cond
+
+outer.cond:
+  %0 = load i64, i64* %i
+  %cmp = icmp slt i64 %0, 3
+  br i1 %cmp, label %inner.head, label %done
+
+inner.head:
+  br label %inner
+
+inner:
+  %j = phi i64 [ 0, %inner.head ], [ %jn, %inner ]
+  %1 = load i64, i64* %i
+  %row = mul i64 %1, 4
+  %idx = add i64 %row, %j
+  %p = getelementptr i64, i64* @grid, i64 %idx
+  %v = mul i64 %1, %j
+  store i64 %v, i64* %p
+  %jn = add i64 %j, 1
+  %jc = icmp slt i64 %jn, 4
+  br i1 %jc, label %inner, label %outer.inc
+
+outer.inc:
+  %2 = load i64, i64* %i
+  %3 = add i64 %2, 1
+  store i64 %3, i64* %i
+  br label %outer.cond
+
+done:
+  br label %sum.loop
+
+sum.loop:
+  %k = phi i64 [ 0, %done ], [ %kn, %sum.loop ]
+  %s = phi i64 [ 0, %done ], [ %sn, %sum.loop ]
+  %q = getelementptr i64, i64* @grid, i64 %k
+  %c = load i64, i64* %q
+  %sn = add i64 %s, %c
+  %kn = add i64 %k, 1
+  %kc = icmp slt i64 %kn, 12
+  br i1 %kc, label %sum.loop, label %exit
+
+exit:
+  %avg = sdiv i64 %sn, 4
+  call void @print(i64 %sn)
+  call void @print(i64 %avg)
+  ret i64 %avg
+}
+
+declare void @print(i64)

@@ -1,0 +1,34 @@
+; Modern opaque-pointer syntax: ptr instead of typed pointers, a local
+; array buffer, and an accumulator behind a helper call.
+@acc = global i64 0
+
+define void @step(i64 %v) {
+entry:
+  %cur = load i64, ptr @acc
+  %nxt = add i64 %cur, %v
+  store i64 %nxt, ptr @acc
+  ret void
+}
+
+define i64 @main() {
+entry:
+  %buf = alloca [4 x i64]
+  br label %fill
+
+fill:
+  %i = phi i64 [ 0, %entry ], [ %in, %fill ]
+  %p = getelementptr inbounds [4 x i64], ptr %buf, i64 0, i64 %i
+  %sq = mul i64 %i, %i
+  store i64 %sq, ptr %p
+  call void @step(i64 %sq)
+  %in = add i64 %i, 1
+  %more = icmp ne i64 %in, 4
+  br i1 %more, label %fill, label %out
+
+out:
+  %r = load i64, ptr @acc
+  call void @print(i64 %r)
+  ret i64 %r
+}
+
+declare void @print(i64)

@@ -1,0 +1,22 @@
+; Fibonacci-style swap phis: (a, b) <- (b, a+b) around the back edge.
+; The parallel-copy lowering must read both sources before writing
+; either destination.
+define i64 @main() {
+entry:
+  br label %loop
+
+loop:
+  %i = phi i64 [ 0, %entry ], [ %in, %loop ]
+  %a = phi i64 [ 0, %entry ], [ %b, %loop ]
+  %b = phi i64 [ 1, %entry ], [ %c, %loop ]
+  %c = add i64 %a, %b
+  %in = add i64 %i, 1
+  %go = icmp slt i64 %in, 20
+  br i1 %go, label %loop, label %exit
+
+exit:
+  call void @print(i64 %a)
+  ret i64 %a
+}
+
+declare void @print(i64)

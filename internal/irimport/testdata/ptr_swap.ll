@@ -1,0 +1,30 @@
+; Raw pointer traffic: addresses flow through integers and back, and
+; the callee dereferences them blind.
+@a = global i64 11
+@b = global i64 22
+
+define void @swap(i64 %pa, i64 %pb) {
+entry:
+  %p = inttoptr i64 %pa to i64*
+  %q = inttoptr i64 %pb to i64*
+  %x = load i64, i64* %p
+  %y = load i64, i64* %q
+  store i64 %y, i64* %p
+  store i64 %x, i64* %q
+  ret void
+}
+
+define i64 @main() {
+entry:
+  %pa = ptrtoint i64* @a to i64
+  %pb = ptrtoint i64* @b to i64
+  call void @swap(i64 %pa, i64 %pb)
+  %x = load i64, i64* @a
+  %y = load i64, i64* @b
+  call void @print(i64 %x)
+  call void @print(i64 %y)
+  %d = sub i64 %x, %y
+  ret i64 %d
+}
+
+declare void @print(i64)

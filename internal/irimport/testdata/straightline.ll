@@ -1,0 +1,29 @@
+; clang -O0 style straight-line code: every local lives in an alloca.
+source_filename = "straightline.c"
+target datalayout = "e-m:e-i64:64-f80:128-n8:16:32:64-S128"
+target triple = "x86_64-unknown-linux-gnu"
+
+@g = dso_local global i64 7, align 8
+
+define dso_local i64 @main() #0 {
+entry:
+  %x = alloca i64, align 8
+  %y = alloca i64, align 8
+  %t = alloca i64, align 8
+  store i64 3, i64* %x, align 8
+  store i64 4, i64* %y, align 8
+  %0 = load i64, i64* %x, align 8
+  %1 = load i64, i64* %y, align 8
+  %add = add nsw i64 %0, %1
+  store i64 %add, i64* %t, align 8
+  %2 = load i64, i64* %t, align 8
+  %3 = load i64, i64* @g, align 8
+  %mul = mul nsw i64 %2, %3
+  call void @print(i64 %mul)
+  ret i64 %mul
+}
+
+declare void @print(i64) #1
+
+attributes #0 = { noinline nounwind optnone uwtable }
+attributes #1 = { nounwind }

@@ -1,0 +1,21 @@
+; A point record {x, y, tag} kept as three cells with constant-index
+; getelementptrs, the shape clang gives a small struct.
+@pt = global [3 x i64] [i64 3, i64 4, i64 0]
+
+define i64 @main() {
+entry:
+  %px = getelementptr [3 x i64], [3 x i64]* @pt, i64 0, i64 0
+  %py = getelementptr [3 x i64], [3 x i64]* @pt, i64 0, i64 1
+  %ptag = getelementptr [3 x i64], [3 x i64]* @pt, i64 0, i64 2
+  %x = load i64, i64* %px
+  %y = load i64, i64* %py
+  %xx = mul i64 %x, %x
+  %yy = mul i64 %y, %y
+  %d2 = add i64 %xx, %yy
+  store i64 %d2, i64* %ptag
+  %t = load i64, i64* %ptag
+  call void @print(i64 %t)
+  ret i64 %t
+}
+
+declare void @print(i64)

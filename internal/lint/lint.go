@@ -62,9 +62,11 @@ var DefaultPackages = []string{
 	"internal/core",
 	"internal/diag",
 	"internal/ir",
+	"internal/irimport",
 	"internal/lint",
 	"internal/liveness",
 	"internal/opt",
+	"internal/oracle",
 	"internal/profile",
 	"internal/regalloc",
 	"internal/source",

@@ -1,0 +1,105 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunClean sweeps a small seeded stream and expects zero
+// mismatches — the production property on the production pipeline.
+func TestRunClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle sweep in -short mode")
+	}
+	rep, err := Run(Config{Seed: 1, Programs: 25, RoundTrip: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("program %d (seed %d) violated %s: %s\nshrunk to:\n%s",
+			m.Index, m.Seed, m.Property, m.Detail, m.Source)
+	}
+	if rep.Runs < 25*6 {
+		t.Errorf("only %d interpreter runs for 25 programs; expected at least %d", rep.Runs, 25*6)
+	}
+}
+
+// TestCheckProgramKnownGood pins the checker on hand-written programs
+// covering the shapes promotion cares about.
+func TestCheckProgramKnownGood(t *testing.T) {
+	progs := map[string]string{
+		"global loop": `int g; void main() { int i; for (i = 0; i < 50; i++) g = g + i; print(g); }`,
+		"addr taken":  `void main() { int a = 3; int* p = &a; *p = 8; print(a + *p); }`,
+		"calls":       `int g; void bump() { g++; } void main() { int i; for (i = 0; i < 9; i++) bump(); print(g); }`,
+		"array":       `int a[6]; void main() { int i; for (i = 0; i < 6; i++) a[i] = i * i; print(a[5]); }`,
+	}
+	for name, src := range progs {
+		if d := CheckProgram(src, 0, true); d != "" {
+			t.Errorf("%s: %s", name, d)
+		}
+	}
+}
+
+// TestCheckProgramDetects pins the failure plumbing. A program whose
+// promoted version genuinely diverges cannot be constructed from
+// outside the pipeline, so the cheapest guaranteed failure is one that
+// does not compile: the checker must report it, not claim success.
+func TestCheckProgramDetects(t *testing.T) {
+	if d := CheckProgram("void main() { totally not a program", 0, false); d == "" {
+		t.Fatal("CheckProgram accepted an uncompilable program")
+	} else if !strings.Contains(d, "pipeline-error") {
+		t.Fatalf("unexpected property name in %q", d)
+	}
+}
+
+// TestShrink pins the ddmin pass on a synthetic predicate: the
+// "failure" is any candidate containing both marker lines, and
+// shrinking must isolate exactly those two lines regardless of the
+// noise around them.
+func TestShrink(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 40; i++ {
+		switch i {
+		case 7:
+			sb.WriteString("NEEDLE-A\n")
+		case 29:
+			sb.WriteString("NEEDLE-B\n")
+		default:
+			sb.WriteString("noise\n")
+		}
+	}
+	fails := func(s string) bool {
+		return strings.Contains(s, "NEEDLE-A") && strings.Contains(s, "NEEDLE-B")
+	}
+	got := Shrink(sb.String(), fails)
+	if got != "NEEDLE-A\nNEEDLE-B\n" {
+		t.Fatalf("shrunk to %q, want the two needle lines", got)
+	}
+}
+
+// TestShrinkKeepsFailing guarantees the result still satisfies the
+// predicate even when nothing can be removed.
+func TestShrinkKeepsFailing(t *testing.T) {
+	src := "a\nb\n"
+	fails := func(s string) bool { return s == src }
+	if got := Shrink(src, fails); got != src {
+		t.Fatalf("shrink altered an unshrinkable input: %q", got)
+	}
+}
+
+// TestDeterminism runs the same configuration twice and requires
+// identical reports — the reproducibility contract behind publishing
+// (seed, index) pairs in EXPERIMENTS.md.
+func TestDeterminism(t *testing.T) {
+	run := func() *Report {
+		rep, err := Run(Config{Seed: 42, Programs: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Runs != b.Runs || len(a.Mismatches) != len(b.Mismatches) || a.Degraded != b.Degraded {
+		t.Fatalf("two identical runs diverged: %+v vs %+v", a, b)
+	}
+}

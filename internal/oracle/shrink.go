@@ -1,0 +1,48 @@
+package oracle
+
+import "strings"
+
+// shrinkBudget bounds how many candidate programs one Shrink call may
+// evaluate. Each candidate costs a handful of pipeline and interpreter
+// runs, so the bound keeps a pathological failure from stalling the
+// whole oracle sweep.
+const shrinkBudget = 400
+
+// Shrink reduces src to a smaller program for which fails still
+// returns true, using line-granular delta debugging (ddmin): it
+// repeatedly tries to delete chunks of lines, halving the chunk size
+// until single lines, and restarts whenever a deletion sticks.
+// Candidates that no longer fail — including ones that stop compiling,
+// which fails reports as false — are simply skipped. The result always
+// still fails; at worst it is src itself.
+func Shrink(src string, fails func(string) bool) string {
+	lines := strings.Split(strings.TrimRight(src, "\n"), "\n")
+	tries := 0
+	attempt := func(cand []string) bool {
+		if tries >= shrinkBudget {
+			return false
+		}
+		tries++
+		return fails(strings.Join(cand, "\n") + "\n")
+	}
+	chunk := len(lines) / 2
+	for chunk >= 1 && tries < shrinkBudget {
+		removedAny := false
+		for start := 0; start+chunk <= len(lines); {
+			cand := make([]string, 0, len(lines)-chunk)
+			cand = append(cand, lines[:start]...)
+			cand = append(cand, lines[start+chunk:]...)
+			if len(cand) > 0 && attempt(cand) {
+				lines = cand
+				removedAny = true
+				// The same start index now names the next chunk.
+			} else {
+				start += chunk
+			}
+		}
+		if !removedAny || chunk > len(lines) {
+			chunk /= 2
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/irimport"
 	"repro/internal/liveness"
 	"repro/internal/opt"
 	"repro/internal/profile"
@@ -77,6 +78,12 @@ func (a Algorithm) String() string {
 
 // Options configures a pipeline run.
 type Options struct {
+	// Lang selects the input language Run compiles: "" or
+	// irimport.LangMiniC ("mc") for the native mini-C frontend, and
+	// irimport.LangIR ("ll") for textual LLVM-style IR through
+	// internal/irimport. TrainSrc, when set, is parsed with the same
+	// language.
+	Lang string
 	// Algorithm selects the promotion pass (default AlgSSA).
 	Algorithm Algorithm
 	// PreMemOpts runs store-to-load forwarding, redundant load
@@ -364,7 +371,7 @@ func Run(src string, opts Options) (*Outcome, error) {
 func (r *runner) frontend(src string) (*ir.Program, map[string]*cfg.Forest, error) {
 	var prog *ir.Program
 	if err := r.runStage(StageCompile, "", nil, func() error {
-		p, err := source.Compile(src)
+		p, err := compileInput(r.opts.Lang, src)
 		prog = p
 		return err
 	}); err != nil {
@@ -423,7 +430,7 @@ func (r *runner) trainProfile(before *ir.Program, forests map[string]*cfg.Forest
 			}
 			prof = p
 		case r.opts.TrainSrc != "":
-			train, _, err := plainFrontend(r.opts.TrainSrc)
+			train, _, err := plainFrontend(r.opts.Lang, r.opts.TrainSrc)
 			if err != nil {
 				return fmt.Errorf("training source: %w", err)
 			}
@@ -711,6 +718,31 @@ func (r *runner) differential(before, after *ir.Program) error {
 		}
 		diff := compareResults(resB, resA)
 		if diff == "" {
+			// The primary interpreter agrees; paranoid mode also runs the
+			// transformed program through the other two execution paths
+			// (legacy tree-walker and bytecode) and holds them to the
+			// same baseline, so a miscompile that only one path exposes
+			// still fails the check.
+			for _, alt := range []struct {
+				name   string
+				adjust func(*interp.Options)
+			}{
+				{"legacy", func(o *interp.Options) { o.Legacy, o.Bytecode, o.Code = true, false, nil }},
+				{"bytecode", func(o *interp.Options) { o.Legacy, o.Bytecode = false, true }},
+			} {
+				popts := r.interpOptions()
+				if popts.Legacy == (alt.name == "legacy") && popts.Bytecode == (alt.name == "bytecode") {
+					continue // already the primary path
+				}
+				alt.adjust(&popts)
+				ra, err := interp.Run(after, popts)
+				if err != nil {
+					return fmt.Errorf("transformed run (%s path): %w", alt.name, err)
+				}
+				if d := compareResults(resB, ra); d != "" {
+					return fmt.Errorf("semantic differential check failed on %s path: %s", alt.name, d)
+				}
+			}
 			return nil
 		}
 		if r.bisect(after, resB) {
@@ -803,11 +835,21 @@ func compareResults(a, b *interp.Result) string {
 	return ""
 }
 
+// compileInput dispatches to the frontend selected by lang: the mini-C
+// compiler for "" or "mc", the textual-IR importer for "ll". Validate
+// has already rejected anything else.
+func compileInput(lang, src string) (*ir.Program, error) {
+	if lang == irimport.LangIR {
+		return irimport.Compile(src)
+	}
+	return source.Compile(src)
+}
+
 // plainFrontend compiles and prepares a program without stage isolation
 // (used for the training-input variant, whose failures are reported as
 // train-stage errors by the caller).
-func plainFrontend(src string) (*ir.Program, map[string]*cfg.Forest, error) {
-	prog, err := source.Compile(src)
+func plainFrontend(lang, src string) (*ir.Program, map[string]*cfg.Forest, error) {
+	prog, err := compileInput(lang, src)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,10 @@
 package pipeline
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/irimport"
+)
 
 // OptionError reports one invalid Options field. Run validates its
 // options up front and returns an *OptionError instead of silently
@@ -45,6 +49,12 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 // worker count, an Algorithm or CheckLevel outside the enum — which
 // previously fell through to whatever the nearest clamp did.
 func (o Options) Validate() error {
+	switch o.Lang {
+	case "", irimport.LangMiniC, irimport.LangIR:
+	default:
+		return &OptionError{Field: "Lang", Value: o.Lang,
+			Reason: `unknown input language (want "mc" or "ll")`}
+	}
 	if o.Algorithm < AlgSSA || o.Algorithm > AlgNone {
 		return &OptionError{Field: "Algorithm", Value: int(o.Algorithm),
 			Reason: "unknown algorithm (want ssa, baseline, memopt, or none)"}

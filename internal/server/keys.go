@@ -3,6 +3,7 @@ package server
 import (
 	"time"
 
+	"repro/internal/irimport"
 	"repro/internal/pipeline"
 )
 
@@ -58,6 +59,14 @@ func ResolveKey(src string, ro RequestOptions, ceil KeyCeilings) (string, error)
 // mapping, naming the offending field.
 func canonicalize(ro RequestOptions, ceil KeyCeilings) (resolvedOptions, error) {
 	var res resolvedOptions
+	res.Lang = ro.Lang
+	if res.Lang == "" {
+		res.Lang = irimport.LangMiniC
+	}
+	if res.Lang != irimport.LangMiniC && res.Lang != irimport.LangIR {
+		return res, &badRequestError{&pipeline.OptionError{Field: "Lang", Value: ro.Lang,
+			Reason: `unknown input language (want "mc" or "ll")`}}
+	}
 	res.Algorithm = ro.Algorithm
 	if res.Algorithm == "" {
 		res.Algorithm = "ssa"

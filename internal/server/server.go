@@ -264,6 +264,10 @@ type PromoteRequest struct {
 // per-request configuration is a cheap, cacheable input — part of the
 // cache key — never a server rebuild.
 type RequestOptions struct {
+	// Lang is the source language of the request program: "mc"
+	// (default) for native mini-C, "ll" for the textual-IR dialect
+	// internal/irimport accepts.
+	Lang string `json:"lang,omitempty"`
 	// Algorithm is ssa (default), baseline, memopt, or none.
 	Algorithm string `json:"algorithm,omitempty"`
 	// Check is off (default), boundaries, or paranoid.
@@ -304,6 +308,7 @@ type RequestOptions struct {
 // so every spelling of the same effective configuration shares a cache
 // entry.
 type resolvedOptions struct {
+	Lang               string `json:"lang"`
 	Algorithm          string `json:"algorithm"`
 	Check              string `json:"check"`
 	Workers            int    `json:"workers"`
@@ -339,6 +344,7 @@ func (s *Server) resolve(ro RequestOptions) (resolvedOptions, pipeline.Options, 
 	check, _ := pipeline.ParseCheckLevel(res.Check)
 
 	popts = pipeline.Options{
+		Lang:               res.Lang,
 		Algorithm:          alg,
 		Check:              check,
 		Workers:            res.Workers,

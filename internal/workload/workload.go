@@ -16,8 +16,12 @@ type Workload struct {
 	Name string
 	// Description says which access pattern the program models.
 	Description string
-	// Src is the mini-C source text.
+	// Src is the program source text, in the language Lang names.
 	Src string
+	// Lang identifies Src's input language: "" or "mc" for native
+	// mini-C, "ll" for the textual-IR dialect internal/irimport
+	// accepts. Harnesses pass it through as pipeline.Options.Lang.
+	Lang string
 }
 
 // Suite returns the eight benchmark programs in the paper's table
