@@ -30,6 +30,7 @@ var expectedRuns = map[string]struct {
 	"calls_i32.ll":       {[]int64{72}, 72},
 	"struct_fields.ll":   {[]int64{25}, 25},
 	"phi_swap.ll":        {[]int64{6765}, 6765},
+	"phi_ptr_const.ll":   {[]int64{37, 135}, 172},
 	"opaque_ptr.ll":      {[]int64{14}, 14},
 }
 
@@ -126,6 +127,15 @@ func TestParseErrors(t *testing.T) {
 		{"duplicate label",
 			"define i64 @main() {\nentry:\n  br label %x\nx:\n  br label %x\nx:\n  ret i64 0\n}\n",
 			"duplicate label"},
+		{"void call result",
+			"define void @f() {\nentry:\n  ret void\n}\ndefine i64 @main() {\nentry:\n  %x = call i64 @f()\n  ret i64 %x\n}\n",
+			"@f returns void"},
+		{"conflicting sibling phi destinations",
+			"define i64 @main() {\nentry:\n  %t = icmp ne i64 1, 0\n  br i1 %t, label %a, label %b\na:\n  %v = phi i64 [ 1, %entry ]\n  ret i64 %v\nb:\n  %v = phi i64 [ 2, %entry ]\n  ret i64 %v\n}\n",
+			"different value"},
+		{"dynamic address phi operand",
+			"@a = global [4 x i64] zeroinitializer\ndefine i64 @main() {\nentry:\n  %i = add i64 1, 1\n  br label %u\nu:\n  %p = phi i64* [ getelementptr ([4 x i64], [4 x i64]* @a, i64 0, i64 %i), %entry ]\n  %x = load i64, i64* %p\n  ret i64 %x\n}\n",
+			"not a valid phi operand"},
 		{"phi pred mismatch",
 			"define i64 @main() {\nentry:\n  br label %a\na:\n  %v = phi i64 [ 1, %entry ], [ 2, %b ]\n  ret i64 %v\nb:\n  ret i64 0\n}\n",
 			"predecessor"},
@@ -146,6 +156,27 @@ func TestParseErrors(t *testing.T) {
 				t.Fatalf("error %q does not contain %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestSiblingPhiSharedDest pins the allowed side of the sibling-phi
+// destination rule: phis in two successors of one predecessor may
+// share a destination when they agree on the incoming value — the
+// moves dedupe instead of erroring.
+func TestSiblingPhiSharedDest(t *testing.T) {
+	src := "define i64 @main() {\nentry:\n  %t = icmp ne i64 1, 0\n  br i1 %t, label %a, label %b\n" +
+		"a:\n  %v = phi i64 [ 5, %entry ]\n  ret i64 %v\n" +
+		"b:\n  %v = phi i64 [ 5, %entry ]\n  %w = add i64 %v, 1\n  ret i64 %w\n}\n"
+	prog, err := irimport.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(prog, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReturnValue != 5 {
+		t.Fatalf("return %d, want 5", res.ReturnValue)
 	}
 }
 

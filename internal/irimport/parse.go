@@ -18,7 +18,8 @@ func Parse(file, src string) (*ir.Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{file: file, toks: toks, prog: ir.NewProgram(), declared: map[string]bool{}}
+	p := &parser{file: file, toks: toks, prog: ir.NewProgram(),
+		declared: map[string]bool{}, retVoid: map[string]bool{}}
 	if err := p.module(); err != nil {
 		return nil, err
 	}
@@ -34,6 +35,7 @@ type parser struct {
 	i        int
 	prog     *ir.Program
 	declared map[string]bool
+	retVoid  map[string]bool // defined functions returning void
 	calls    []callSite
 }
 
@@ -164,6 +166,9 @@ func (p *parser) checkCalls() error {
 		if c.nargs != len(f.Params) {
 			return p.errAt(c.pos, "call to @%s with %d arguments, function takes %d",
 				c.callee, c.nargs, len(f.Params))
+		}
+		if c.hasDst && p.retVoid[c.callee] {
+			return p.errAt(c.pos, "call names a result, but @%s returns void", c.callee)
 		}
 	}
 	return nil
@@ -380,10 +385,32 @@ type regInfo struct {
 	firstUse Pos
 }
 
+// phiOperand is one phi incoming value, parsed without emitting IR.
+// A pointer constant (@g, an alloca, a constant getelementptr or
+// inttoptr) is held as the memory location it names; lowerPhis
+// materializes the addr-of in each predecessor, where the copy that
+// reads it runs — materializing at parse time would define the temp in
+// the phi's own block, after the predecessor copy that uses it.
+type phiOperand struct {
+	val   ir.Value // when !isLoc: a constant or register
+	isLoc bool
+	loc   ir.MemLoc
+}
+
+func (a phiOperand) equal(b phiOperand) bool {
+	if a.isLoc != b.isLoc {
+		return false
+	}
+	if a.isLoc {
+		return a.loc == b.loc
+	}
+	return a.val == b.val
+}
+
 type phiRec struct {
 	blk    *ir.Block
 	dst    ir.RegID
-	vals   []ir.Value
+	ops    []phiOperand
 	labels []string
 	lpos   []Pos
 	pos    Pos
@@ -422,6 +449,7 @@ func (p *parser) function() error {
 	if p.prog.Func(nameTok.text) != nil {
 		return p.errTok(nameTok, "redefinition of function @%s", nameTok.text)
 	}
+	p.retVoid[nameTok.text] = retty.void
 
 	f := ir.NewFunction(p.prog, nameTok.text)
 	fp := &funcParser{

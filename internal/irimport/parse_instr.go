@@ -400,7 +400,7 @@ func (fp *funcParser) valueInstr(dst, op token) error {
 			if _, err := p.expectPunct("["); err != nil {
 				return err
 			}
-			v, err := fp.operand()
+			v, err := fp.phiOperand()
 			if err != nil {
 				return err
 			}
@@ -414,7 +414,7 @@ func (fp *funcParser) valueInstr(dst, op token) error {
 			if _, err := p.expectPunct("]"); err != nil {
 				return err
 			}
-			rec.vals = append(rec.vals, v)
+			rec.ops = append(rec.ops, v)
 			rec.labels = append(rec.labels, lt.text)
 			rec.lpos = append(rec.lpos, lt.pos)
 			if !p.acceptPunct(",") {
@@ -561,6 +561,42 @@ func (fp *funcParser) operand() (ir.Value, error) {
 		return fp.placeValue(pl)
 	}
 	return fp.value(fp.p.next())
+}
+
+// phiOperand parses one phi incoming value. Unlike operand it emits no
+// IR into the current (phi's own) block: pointer constants are recorded
+// as locations for lowerPhis to materialize in each predecessor. A
+// dynamically indexed address has no block whose dominance covers every
+// predecessor copy, so it is rejected rather than mis-lowered.
+func (fp *funcParser) phiOperand() (phiOperand, error) {
+	p := fp.p
+	t := p.peek()
+	pointerish := t.kind == tGlobal ||
+		(t.kind == tLocal && fp.syms[t.text] != nil) ||
+		(t.kind == tWord && (t.text == "null" || t.text == "inttoptr" || t.text == "getelementptr"))
+	if !pointerish {
+		v, err := fp.value(p.next())
+		if err != nil {
+			return phiOperand{}, err
+		}
+		return phiOperand{val: v}, nil
+	}
+	pl, err := fp.pointerOrSym()
+	if err != nil {
+		return phiOperand{}, err
+	}
+	switch pl.kind {
+	case placeLoc:
+		return phiOperand{isLoc: true, loc: pl.loc}, nil
+	case placeIdx:
+		if !pl.idx.IsConst() {
+			return phiOperand{}, p.errTok(t, "dynamically indexed address is not a valid phi operand")
+		}
+		loc := pl.loc
+		loc.Offset = int(pl.idx.Const())
+		return phiOperand{isLoc: true, loc: loc}, nil
+	}
+	return phiOperand{val: pl.ptr}, nil
 }
 
 // castOperand parses `TYPE VAL to TYPE` and returns VAL as a value.
@@ -965,14 +1001,17 @@ func (fp *funcParser) resolveGepTarget(base token, idx ir.Value) (*sym, error) {
 // reads on critical edges correct without edge splitting.
 func (fp *funcParser) lowerPhis() error {
 	p := fp.p
-	type move struct{ dst ir.RegID; src ir.Value }
+	type move struct {
+		dst ir.RegID
+		src phiOperand
+	}
 	perPred := map[*ir.Block][]move{}
 
 	for _, rec := range fp.phis {
 		preds := rec.blk.Preds
-		if len(rec.vals) != len(preds) {
+		if len(rec.ops) != len(preds) {
 			return p.errAt(rec.pos, "phi has %d incoming values, block has %d predecessors",
-				len(rec.vals), len(preds))
+				len(rec.ops), len(preds))
 		}
 		seen := make(map[*ir.Block]bool, len(preds))
 		for j, lbl := range rec.labels {
@@ -994,7 +1033,25 @@ func (fp *funcParser) lowerPhis() error {
 				return p.errAt(rec.lpos[j], "duplicate phi entry for %%%s", lbl)
 			}
 			seen[pb] = true
-			perPred[pb] = append(perPred[pb], move{dst: rec.dst, src: rec.vals[j]})
+			// Two phis reachable from the same predecessor (sibling
+			// successors of a conditional branch, or reassignment within
+			// one block) run as copies in that predecessor regardless of
+			// which edge is taken, so a shared destination is only
+			// meaningful when both phis agree on the incoming value.
+			dup := false
+			for _, m := range perPred[pb] {
+				if m.dst == rec.dst {
+					if !m.src.equal(rec.ops[j]) {
+						return p.errAt(rec.pos,
+							"phi destination is assigned a different value by another phi on the edge from %%%s", lbl)
+					}
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				perPred[pb] = append(perPred[pb], move{dst: rec.dst, src: rec.ops[j]})
+			}
 		}
 	}
 
@@ -1003,6 +1060,21 @@ func (fp *funcParser) lowerPhis() error {
 		moves := perPred[pred]
 		if len(moves) == 0 {
 			continue
+		}
+		// Pointer-constant sources materialize here, in the predecessor,
+		// so the addr temp is defined before the copy that reads it.
+		srcs := make([]ir.Value, len(moves))
+		for i, m := range moves {
+			if !m.src.isLoc {
+				srcs[i] = m.src.val
+				continue
+			}
+			markAddrTaken(m.src.loc)
+			t := fp.f.NewReg("")
+			in := ir.NewInstr(ir.OpAddr, t)
+			in.Loc = m.src.loc
+			pred.InsertBeforeTerm(in)
+			srcs[i] = ir.RegVal(t)
 		}
 		inDst := func(v ir.Value) bool {
 			if v.IsConst() {
@@ -1024,24 +1096,24 @@ func (fp *funcParser) lowerPhis() error {
 			term.Args[0] = ir.RegVal(t)
 		}
 		twoPhase := false
-		for _, m := range moves {
-			if inDst(m.src) {
+		for _, s := range srcs {
+			if inDst(s) {
 				twoPhase = true
 				break
 			}
 		}
 		if twoPhase {
 			temps := make([]ir.RegID, len(moves))
-			for i, m := range moves {
+			for i, s := range srcs {
 				temps[i] = fp.f.NewReg("")
-				pred.InsertBeforeTerm(ir.NewInstr(ir.OpCopy, temps[i], m.src))
+				pred.InsertBeforeTerm(ir.NewInstr(ir.OpCopy, temps[i], s))
 			}
 			for i, m := range moves {
 				pred.InsertBeforeTerm(ir.NewInstr(ir.OpCopy, m.dst, ir.RegVal(temps[i])))
 			}
 		} else {
-			for _, m := range moves {
-				pred.InsertBeforeTerm(ir.NewInstr(ir.OpCopy, m.dst, m.src))
+			for i, m := range moves {
+				pred.InsertBeforeTerm(ir.NewInstr(ir.OpCopy, m.dst, srcs[i]))
 			}
 		}
 	}

@@ -1,0 +1,41 @@
+; Pointer-constant phi operands: a global, a constant getelementptr,
+; and an alloca flow into phis on a two-way join. The addr-of for each
+; incoming value must be materialized in its predecessor — the copy
+; that reads it runs there, before the phi's own block is entered.
+@g = global i64 7
+@h = global i64 35
+@tab = global [4 x i64] [i64 10, i64 20, i64 30, i64 40]
+
+define i64 @pick(i64 %c) {
+entry:
+  %slot = alloca i64
+  store i64 100, i64* %slot
+  %t = icmp ne i64 %c, 0
+  br i1 %t, label %yes, label %no
+
+yes:
+  br label %join
+
+no:
+  br label %join
+
+join:
+  %p = phi i64* [ @g, %yes ], [ @h, %no ]
+  %q = phi i64* [ getelementptr inbounds ([4 x i64], [4 x i64]* @tab, i64 0, i64 2), %yes ], [ %slot, %no ]
+  %a = load i64, i64* %p
+  %b = load i64, i64* %q
+  %s = add i64 %a, %b
+  ret i64 %s
+}
+
+define i64 @main() {
+entry:
+  %x = call i64 @pick(i64 1)
+  %y = call i64 @pick(i64 0)
+  call void @print(i64 %x)
+  call void @print(i64 %y)
+  %r = add i64 %x, %y
+  ret i64 %r
+}
+
+declare void @print(i64)

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/interp"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
@@ -52,6 +53,40 @@ func TestParanoidOverCorpus(t *testing.T) {
 				if len(out.Degraded) != 0 {
 					t.Fatalf("%v: degradations on healthy corpus program: %v", alg, out.Degraded)
 				}
+			}
+		})
+	}
+}
+
+// TestParanoidAlternatePaths runs the paranoid differential with each
+// of the three interpreter paths as the primary, so the cross-check of
+// the other two (including the fast path when the primary is legacy or
+// bytecode) executes on real promoted code rather than only the
+// default fast-primary configuration.
+func TestParanoidAlternatePaths(t *testing.T) {
+	src := workload.Suite()[0].Src
+	for _, primary := range []struct {
+		name string
+		opts interp.Options
+	}{
+		{"fast", interp.Options{}},
+		{"legacy", interp.Options{Legacy: true}},
+		{"bytecode", interp.Options{Bytecode: true}},
+	} {
+		primary := primary
+		t.Run(primary.name, func(t *testing.T) {
+			t.Parallel()
+			out, err := pipeline.Run(src, pipeline.Options{
+				Algorithm:       pipeline.AlgSSA,
+				Check:           pipeline.CheckParanoid,
+				Interp:          primary.opts,
+				SkipMeasurement: true,
+			})
+			if err != nil {
+				t.Fatalf("primary %s: %v", primary.name, err)
+			}
+			if len(out.Degraded) != 0 {
+				t.Fatalf("primary %s: unexpected degradations: %v", primary.name, out.Degraded)
 			}
 		})
 	}

@@ -720,20 +720,28 @@ func (r *runner) differential(before, after *ir.Program) error {
 		if diff == "" {
 			// The primary interpreter agrees; paranoid mode also runs the
 			// transformed program through the other two execution paths
-			// (legacy tree-walker and bytecode) and holds them to the
-			// same baseline, so a miscompile that only one path exposes
-			// still fails the check.
+			// (whichever of fast, legacy tree-walker, and bytecode are
+			// not primary) and holds them to the same baseline, so a
+			// miscompile that only one path exposes still fails the
+			// check.
+			primary := "fast"
+			if popts := r.interpOptions(); popts.Legacy {
+				primary = "legacy"
+			} else if popts.Bytecode {
+				primary = "bytecode"
+			}
 			for _, alt := range []struct {
 				name   string
 				adjust func(*interp.Options)
 			}{
+				{"fast", func(o *interp.Options) { o.Legacy, o.Bytecode, o.Code = false, false, nil }},
 				{"legacy", func(o *interp.Options) { o.Legacy, o.Bytecode, o.Code = true, false, nil }},
 				{"bytecode", func(o *interp.Options) { o.Legacy, o.Bytecode = false, true }},
 			} {
-				popts := r.interpOptions()
-				if popts.Legacy == (alt.name == "legacy") && popts.Bytecode == (alt.name == "bytecode") {
-					continue // already the primary path
+				if alt.name == primary {
+					continue
 				}
+				popts := r.interpOptions()
 				alt.adjust(&popts)
 				ra, err := interp.Run(after, popts)
 				if err != nil {
